@@ -1,0 +1,93 @@
+// Shared plumbing for the figure-reproduction binaries.
+//
+// Each bench regenerates one table/figure of the paper (see DESIGN.md §3 and
+// EXPERIMENTS.md). Defaults favour quick runs; set AGENTNET_RUNS=40 for the
+// paper's averaging protocol and AGENTNET_FULL=1 for full-scale sweeps.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "experiments/mapping_experiments.hpp"
+#include "experiments/paper.hpp"
+#include "experiments/routing_experiments.hpp"
+
+namespace agentnet::bench {
+
+inline void print_header(const std::string& figure,
+                         const std::string& paper_result, int runs) {
+  std::cout << "=== " << figure << " ===\n"
+            << "paper: " << paper_result << "\n"
+            << "runs per setting: " << runs
+            << " (set AGENTNET_RUNS=40 for the paper protocol)\n\n";
+}
+
+/// The paper's mapping network (300 nodes / ≈2164 directed edges), built
+/// once per process.
+inline const GeneratedNetwork& mapping_network() {
+  static const GeneratedNetwork net =
+      paper_mapping_network(paper::kMappingNetworkSeed);
+  return net;
+}
+
+/// The paper's routing scenario (250 nodes / 12 gateways / half mobile),
+/// built once per process.
+inline const RoutingScenario& routing_scenario() {
+  static const RoutingScenario scenario{RoutingScenarioParams{},
+                                        paper::kRoutingScenarioSeed};
+  return scenario;
+}
+
+inline RoutingTaskConfig paper_routing_task() {
+  RoutingTaskConfig task;
+  task.steps = paper::kRoutingSteps;
+  task.measure_from = paper::kRoutingMeasureFrom;
+  return task;
+}
+
+/// Prints a result table and, when AGENTNET_CSV_DIR is set, also writes it
+/// to <dir>/<figure_id>.csv for external plotting.
+inline void finish_table(const std::string& figure_id, const Table& table) {
+  table.print(std::cout);
+  if (const auto dir = env_string("AGENTNET_CSV_DIR")) {
+    const std::string path = *dir + "/" + figure_id + ".csv";
+    std::ofstream os(path);
+    if (!os.is_open()) {
+      std::cerr << "cannot write " << path << "\n";
+      return;
+    }
+    table.write_csv(os);
+    std::cout << "(csv written to " << path << ")\n";
+  }
+}
+
+/// Prints a knowledge-over-time series as a table of ≤ max_points rows.
+inline void print_series(const std::string& label,
+                         const SeriesAccumulator& acc,
+                         std::size_t max_points = 25) {
+  Table table({"step", label + " mean", "stddev"});
+  for (std::size_t idx : series_sample_points(acc.length(), max_points)) {
+    table.add_row({static_cast<std::int64_t>(idx), acc.at(idx).mean(),
+                   acc.at(idx).stddev()});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+/// One-line summary of a mapping experiment.
+inline void print_finish(const std::string& label,
+                         const MappingSummary& summary) {
+  std::printf("%-42s finishing time: mean %8.1f  (±%.1f, min %.0f, max %.0f",
+              label.c_str(), summary.finishing_time.mean(),
+              confidence_halfwidth(summary.finishing_time),
+              summary.finishing_time.min(), summary.finishing_time.max());
+  if (summary.unfinished > 0)
+    std::printf(", %d/%d unfinished", summary.unfinished, summary.runs);
+  std::printf(")\n");
+}
+
+}  // namespace agentnet::bench

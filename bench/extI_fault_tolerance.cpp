@@ -1,0 +1,47 @@
+// Extension I — fault tolerance. Mobile-agent systems have no control
+// plane to heal: when a migrating agent is lost with its carried state,
+// routing only survives if the remaining walkers re-cover the ground.
+// This bench sweeps the in-transit loss rate, with and without gateway
+// respawn (gateways are wired to the outside world — the natural place to
+// relaunch agents), and reports how gracefully connectivity degrades.
+#include "bench_util.hpp"
+
+using namespace agentnet;
+
+int main() {
+  const int runs = bench_runs(6);
+  bench::print_header(
+      "Ext I — agent loss and gateway respawn",
+      "graceful degradation under loss; respawn restores the population "
+      "and most of the connectivity",
+      runs);
+  const auto& scenario = bench::routing_scenario();
+
+  Table table({"loss per migration", "no respawn", "final pop",
+               "with respawn", "final pop (r)"});
+  table.set_precision(3);
+  for (double loss : {0.0, 0.002, 0.005, 0.01, 0.02}) {
+    RunningStats plain_conn, plain_pop, heal_conn, heal_pop;
+    for (int r = 0; r < runs; ++r) {
+      auto task = bench::paper_routing_task();
+      task.population = 100;
+      task.agent.policy = RoutingPolicy::kOldestNode;
+      task.agent.history_size = 10;
+      task.agent_loss_probability = loss;
+      const Rng seed(paper::kRunSeedBase + static_cast<std::uint64_t>(r));
+      const auto plain = run_routing_task(scenario, task, seed);
+      plain_conn.add(plain.mean_connectivity);
+      plain_pop.add(static_cast<double>(plain.final_population));
+      task.gateway_respawn_probability = 0.25;
+      const auto healed = run_routing_task(scenario, task, seed);
+      heal_conn.add(healed.mean_connectivity);
+      heal_pop.add(static_cast<double>(healed.final_population));
+    }
+    table.add_row({loss, plain_conn.mean(), plain_pop.mean(),
+                   heal_conn.mean(), heal_pop.mean()});
+  }
+  bench::finish_table("extI", table);
+  std::cout << "\n(loss 0.01/migration kills ~95% of a 100-agent team over "
+               "300 steps without respawn)\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Extension R — engineering scalability. The paper stops at 300 nodes;
+// this bench scales the routing scenario from 100 to 1000 nodes (agent
+// population and gateways scaled proportionally, arena scaled to keep
+// density constant) and reports connectivity plus wall-time per simulated
+// step, showing the simulator itself is not the bottleneck.
+#include <chrono>
+
+#include "bench_util.hpp"
+
+using namespace agentnet;
+
+int main() {
+  const int runs = bench_runs(3);
+  bench::print_header(
+      "Ext R — scalability of the routing scenario",
+      "constant-density scaling: connectivity should hold roughly steady; "
+      "step cost should grow near-linearly",
+      runs);
+
+  Table table({"nodes", "gateways", "agents", "connectivity",
+               "us per step"});
+  for (std::size_t nodes : {100u, 250u, 500u, 1000u}) {
+    const double scale =
+        std::sqrt(static_cast<double>(nodes) / 250.0);  // constant density
+    RoutingScenarioParams params;
+    params.node_count = nodes;
+    params.gateway_count = std::max<std::size_t>(2, nodes * 12 / 250);
+    params.bounds = {{0.0, 0.0}, {1000.0 * scale, 1000.0 * scale}};
+    const RoutingScenario scenario(params, paper::kRoutingScenarioSeed);
+
+    auto task = bench::paper_routing_task();
+    task.population = static_cast<int>(nodes * 100 / 250);
+    task.agent.history_size = 10;
+
+    RunningStats conn;
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < runs; ++r) {
+      conn.add(run_routing_task(
+                   scenario, task,
+                   Rng(paper::kRunSeedBase + static_cast<std::uint64_t>(r)))
+                   .mean_connectivity);
+    }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    const double us_per_step =
+        static_cast<double>(elapsed) /
+        static_cast<double>(runs * static_cast<int>(task.steps));
+    table.add_row({static_cast<std::int64_t>(nodes),
+                   static_cast<std::int64_t>(params.gateway_count),
+                   static_cast<std::int64_t>(task.population), conn.mean(),
+                   us_per_step});
+  }
+  bench::finish_table("extR", table);
+  std::cout << "\n(step cost includes mobility, battery, full topology "
+               "rebuild, all agent phases and the connectivity walk)\n";
+  return 0;
+}

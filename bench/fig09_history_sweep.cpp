@@ -1,0 +1,41 @@
+// Figure 9: converged connectivity vs agent history (cache) size. Paper:
+// more history → higher connectivity and more stability, for both agent
+// types; oldest-node stays ahead of random throughout.
+#include "bench_util.hpp"
+
+using namespace agentnet;
+
+int main() {
+  const int runs = bench_runs(8);
+  bench::print_header(
+      "Fig 9 — connectivity vs history size",
+      "monotone in history size; oldest-node > random everywhere", runs);
+  const auto& scenario = bench::routing_scenario();
+
+  const std::vector<std::size_t> histories =
+      bench_full() ? std::vector<std::size_t>{2, 4, 6, 10, 15, 20, 30, 50}
+                   : std::vector<std::size_t>{2, 5, 10, 25};
+
+  Table table({"history", "oldest-node", "(stability sd)", "random",
+               "(stability sd)"});
+  for (std::size_t h : histories) {
+    auto task = bench::paper_routing_task();
+    task.population = 100;
+    task.agent.history_size = h;
+
+    task.agent.policy = RoutingPolicy::kOldestNode;
+    const auto oldest =
+        run_routing_experiment(scenario, task, runs, paper::kRunSeedBase);
+    task.agent.policy = RoutingPolicy::kRandom;
+    const auto random =
+        run_routing_experiment(scenario, task, runs, paper::kRunSeedBase);
+
+    table.add_row({static_cast<std::int64_t>(h),
+                   oldest.mean_connectivity.mean(),
+                   oldest.window_stddev.mean(),
+                   random.mean_connectivity.mean(),
+                   random.window_stddev.mean()});
+  }
+  bench::finish_table("fig09", table);
+  return 0;
+}

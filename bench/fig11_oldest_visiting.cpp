@@ -1,0 +1,48 @@
+// Figure 11: effect of inter-agent visiting on OLDEST-NODE agents. Paper:
+// visiting *hurts* — after a meeting all participants hold identical
+// histories, make identical movement decisions, and chase one another, so
+// some nodes go unvisited and connectivity drops.
+#include "bench_util.hpp"
+#include "common/compare.hpp"
+
+using namespace agentnet;
+
+int main() {
+  const int runs = bench_runs(8);
+  bench::print_header(
+      "Fig 11 — oldest-node agents, visiting vs not",
+      "direct communication REDUCES oldest-node connectivity (identical "
+      "histories → chasing)",
+      runs);
+  const auto& scenario = bench::routing_scenario();
+
+  const std::vector<std::size_t> histories =
+      bench_full() ? std::vector<std::size_t>{5, 10, 20, 30}
+                   : std::vector<std::size_t>{5, 10, 20};
+
+  Table table({"history", "no visiting", "visiting", "delta", "p-value"});
+  for (std::size_t h : histories) {
+    auto task = bench::paper_routing_task();
+    task.population = 100;
+    task.agent.policy = RoutingPolicy::kOldestNode;
+    task.agent.history_size = h;
+
+    task.agent.communicate = false;
+    const auto solo =
+        run_routing_experiment(scenario, task, runs, paper::kRunSeedBase);
+    task.agent.communicate = true;
+    const auto visiting =
+        run_routing_experiment(scenario, task, runs, paper::kRunSeedBase);
+
+    const Comparison cmp = compare_samples(visiting.mean_connectivity,
+                                           solo.mean_connectivity);
+    table.add_row({static_cast<std::int64_t>(h),
+                   solo.mean_connectivity.mean(),
+                   visiting.mean_connectivity.mean(), cmp.difference,
+                   cmp.p_value});
+  }
+  bench::finish_table("fig11", table);
+  std::cout << "\n(paper expects delta < 0 for oldest-node agents; p-value "
+               "is Welch's test on the per-run means)\n";
+  return 0;
+}

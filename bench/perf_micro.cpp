@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: topology
+// rebuild, graph queries, knowledge merges, agent stepping and connectivity
+// measurement. These guard the costs that the figure benches amortise.
+#include <benchmark/benchmark.h>
+
+#include "core/mapping_task.hpp"
+#include "core/routing_task.hpp"
+#include "geom/spatial_grid.hpp"
+#include "mobility/mobility.hpp"
+#include "net/generators.hpp"
+#include "net/metrics.hpp"
+#include "routing/connectivity.hpp"
+
+namespace agentnet {
+namespace {
+
+const GeneratedNetwork& net300() {
+  static const GeneratedNetwork net = paper_mapping_network(2010);
+  return net;
+}
+
+void BM_TopologyBuild(benchmark::State& state) {
+  const auto& net = net300();
+  TopologyBuilder builder(net.bounds, 1000.0, LinkPolicy::kDirected);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build(net.positions, net.base_ranges));
+  }
+}
+BENCHMARK(BM_TopologyBuild);
+
+void BM_GraphHasEdge(benchmark::State& state) {
+  const Graph& g = net300().graph;
+  NodeId u = 0, v = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.has_edge(u, v));
+    u = (u + 7) % 300;
+    v = (v + 13) % 300;
+  }
+}
+BENCHMARK(BM_GraphHasEdge);
+
+void BM_BfsDistances(benchmark::State& state) {
+  const Graph& g = net300().graph;
+  for (auto _ : state) benchmark::DoNotOptimize(bfs_distances(g, 0));
+}
+BENCHMARK(BM_BfsDistances);
+
+void BM_KnowledgeMerge(benchmark::State& state) {
+  MapKnowledge a(300), b(300);
+  const Graph& g = net300().graph;
+  for (NodeId u = 0; u < 300; u += 2) b.observe_node(u, g.out_neighbors(u), 0);
+  for (auto _ : state) {
+    MapKnowledge fresh(300);
+    fresh.learn_from(b);
+    benchmark::DoNotOptimize(fresh.known_edge_count());
+  }
+}
+BENCHMARK(BM_KnowledgeMerge);
+
+void BM_MappingStep(benchmark::State& state) {
+  // Cost of one full team-step, measured as a short task run.
+  const auto pop = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    World world = World::frozen(net300());
+    MappingTaskConfig cfg;
+    cfg.population = pop;
+    cfg.agent = {MappingPolicy::kConscientious, StigmergyMode::kFilterFirst};
+    cfg.max_steps = 50;
+    cfg.record_series = false;
+    benchmark::DoNotOptimize(run_mapping_task(world, cfg, Rng(1)));
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * pop);
+}
+BENCHMARK(BM_MappingStep)->Arg(1)->Arg(15)->Arg(100);
+
+void BM_ConnectivityMeasure(benchmark::State& state) {
+  const RoutingScenario scenario{RoutingScenarioParams{}, 2010};
+  World world = scenario.make_world();
+  RoutingTables tables(world.node_count());
+  // Seed plausible routes from a BFS tree toward gateway 0-ish nodes.
+  std::vector<bool> gw = scenario.is_gateway();
+  for (NodeId v = 0; v < world.node_count(); ++v) {
+    const auto nbrs = world.graph().out_neighbors(v);
+    if (!nbrs.empty()) tables.force(v, {nbrs[0], 0, 3, 0});
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(measure_connectivity(world.graph(), tables, gw));
+}
+BENCHMARK(BM_ConnectivityMeasure);
+
+void BM_RoutingStep(benchmark::State& state) {
+  const RoutingScenario scenario{RoutingScenarioParams{}, 2010};
+  for (auto _ : state) {
+    RoutingTaskConfig cfg;
+    cfg.population = static_cast<int>(state.range(0));
+    cfg.steps = 30;
+    cfg.measure_from = 15;
+    benchmark::DoNotOptimize(run_routing_task(scenario, cfg, Rng(1)));
+  }
+  state.SetItemsProcessed(state.iterations() * 30 * state.range(0));
+}
+BENCHMARK(BM_RoutingStep)->Arg(25)->Arg(100);
+
+void BM_WorldAdvance(benchmark::State& state) {
+  const RoutingScenario scenario{RoutingScenarioParams{}, 2010};
+  World world = scenario.make_world();
+  for (auto _ : state) {
+    world.advance();
+    benchmark::DoNotOptimize(world.graph().edge_count());
+  }
+}
+BENCHMARK(BM_WorldAdvance);
+
+void BM_SpatialGridRebuild(benchmark::State& state) {
+  Rng rng(1);
+  const Aabb arena{{0.0, 0.0}, {1000.0, 1000.0}};
+  const auto positions =
+      random_positions(static_cast<std::size_t>(state.range(0)), arena, rng);
+  SpatialGrid grid(arena, 110.0);
+  for (auto _ : state) {
+    grid.rebuild(positions);
+    benchmark::DoNotOptimize(grid.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SpatialGridRebuild)->Arg(250)->Arg(2000);
+
+}  // namespace
+}  // namespace agentnet
+
+BENCHMARK_MAIN();

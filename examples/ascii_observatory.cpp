@@ -1,0 +1,112 @@
+// ASCII observatory: watch the dynamic-routing world evolve in the
+// terminal — the spiritual successor of the original simulator's
+// "graphical view". Also a demonstration of driving agents through the
+// low-level API instead of run_routing_task.
+//
+//   ./build/examples/ascii_observatory [steps]
+//
+// Legend:  G gateway   o node (no valid route)   + node with a live route
+//          1-9 that many agents on the cell       · empty space
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "agentnet.hpp"
+
+using namespace agentnet;
+
+namespace {
+
+constexpr int kCols = 64;
+constexpr int kRows = 24;
+
+void render(const World& world, const RoutingScenario& scenario,
+            const std::vector<RoutingAgent>& agents,
+            const RoutingTables& tables, std::size_t step) {
+  const Aabb bounds = world.bounds();
+  std::vector<std::string> canvas(kRows, std::string(kCols, ' '));
+  for (auto& row : canvas)
+    for (auto& c : row) c = '.';
+
+  auto cell = [&](Vec2 p, int& cx, int& cy) {
+    cx = std::min(kCols - 1,
+                  static_cast<int>((p.x - bounds.lo.x) / bounds.width() *
+                                   kCols));
+    cy = std::min(kRows - 1,
+                  static_cast<int>((p.y - bounds.lo.y) / bounds.height() *
+                                   kRows));
+  };
+
+  const auto valid =
+      valid_route_flags(world.graph(), tables, scenario.is_gateway());
+  for (NodeId v = 0; v < world.node_count(); ++v) {
+    int cx, cy;
+    cell(world.positions()[v], cx, cy);
+    char& c = canvas[cy][cx];
+    if (scenario.is_gateway()[v])
+      c = 'G';
+    else if (c != 'G')
+      c = valid[v] ? '+' : 'o';
+  }
+  std::vector<int> agent_count(static_cast<std::size_t>(kRows) * kCols, 0);
+  for (const auto& agent : agents) {
+    int cx, cy;
+    cell(world.positions()[agent.location()], cx, cy);
+    ++agent_count[static_cast<std::size_t>(cy) * kCols + cx];
+  }
+  for (int cy = 0; cy < kRows; ++cy)
+    for (int cx = 0; cx < kCols; ++cx) {
+      const int k = agent_count[static_cast<std::size_t>(cy) * kCols + cx];
+      if (k > 0) canvas[cy][cx] = static_cast<char>('0' + std::min(9, k));
+    }
+
+  const auto conn =
+      measure_connectivity(world.graph(), tables, scenario.is_gateway());
+  std::printf("step %3zu   connectivity %.3f   links %zu\n", step,
+              conn.fraction(), world.graph().edge_count());
+  for (const auto& row : canvas) std::printf("  %s\n", row.c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t steps =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
+
+  RoutingScenarioParams params;
+  params.node_count = 120;
+  params.gateway_count = 6;
+  params.bounds = {{0.0, 0.0}, {800.0, 800.0}};
+  params.trace_steps = steps;
+  const RoutingScenario scenario(params, 7);
+  World world = scenario.make_world();
+
+  RoutingTables tables(world.node_count());
+  StigmergyBoard board(world.node_count(), 20);
+  RoutingAgentConfig agent_cfg;
+  agent_cfg.policy = RoutingPolicy::kOldestNode;
+  agent_cfg.stigmergy = StigmergyMode::kFilterFirst;
+
+  Rng rng(9);
+  std::vector<RoutingAgent> agents;
+  for (int a = 0; a < 40; ++a)
+    agents.emplace_back(a,
+                        static_cast<NodeId>(rng.index(world.node_count())),
+                        agent_cfg, rng.fork(a + 1));
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (auto& agent : agents) agent.arrive(scenario.is_gateway(), t);
+    for (auto& agent : agents) {
+      const NodeId target = agent.decide(world.graph(), board, t);
+      if (target != agent.location()) board.stamp(agent.location(), target, t);
+      agent.move_to(target);
+      agent.install(tables, scenario.is_gateway(), t);
+    }
+    world.advance();
+    if (t % (steps / 4 == 0 ? 1 : steps / 4) == 0 || t + 1 == steps)
+      render(world, scenario, agents, tables, t);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Disaster-relief MANET: the paper's dynamic-routing scenario as a story.
+//
+// A relief operation drops 12 satellite-uplink gateways into an area where
+// responders' devices move unpredictably and run on battery. Mobile agents
+// keep every device's routing table pointed at a live uplink. This example
+// compares the two agent movement policies and prints the connectivity the
+// operation actually gets versus the best physically possible (oracle).
+//
+//   ./build/examples/disaster_relief_manet
+#include <cstdio>
+#include <iostream>
+
+#include "core/routing_task.hpp"
+
+using namespace agentnet;
+
+int main() {
+  RoutingScenarioParams params;  // the paper's 250-node / 12-gateway setup
+  const RoutingScenario scenario(params, 2026);
+  std::printf(
+      "relief network: %zu devices, %zu uplink gateways, ~half mobile with "
+      "random speeds, mobile radios decaying on battery\n\n",
+      scenario.node_count(), params.gateway_count);
+
+  RoutingTaskConfig task;
+  task.population = 100;
+  task.agent.history_size = 10;
+  task.record_oracle = true;
+
+  for (RoutingPolicy policy :
+       {RoutingPolicy::kRandom, RoutingPolicy::kOldestNode}) {
+    task.agent.policy = policy;
+    const RoutingTaskResult result = run_routing_task(scenario, task, Rng(5));
+    std::printf("%-12s agents: converged connectivity %.3f (sd %.3f)\n",
+                to_string(policy), result.mean_connectivity,
+                result.stddev_connectivity);
+  }
+
+  // Show the oldest-node trace against the oracle: how much headroom the
+  // physical topology leaves on the table.
+  task.agent.policy = RoutingPolicy::kOldestNode;
+  const RoutingTaskResult trace = run_routing_task(scenario, task, Rng(5));
+  std::printf("\n%8s  %12s  %8s\n", "step", "connectivity", "oracle");
+  for (std::size_t t = 0; t < trace.connectivity.size(); t += 25)
+    std::printf("%8zu  %12.3f  %8.3f\n", t, trace.connectivity[t],
+                trace.oracle[t]);
+  std::printf("%8zu  %12.3f  %8.3f\n", trace.connectivity.size() - 1,
+              trace.connectivity.back(), trace.oracle.back());
+
+  std::printf(
+      "\nthe gap to the oracle is the cost of learning routes with wandering "
+      "agents in a network that rewires under them.\n");
+  return 0;
+}

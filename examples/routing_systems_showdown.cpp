@@ -1,0 +1,83 @@
+// Routing-systems showdown: three ways to keep a MANET pointed at its
+// gateways, one scenario, one metric, one overhead yardstick.
+//
+//   1. the paper's mobile agents (bounded history + reverse-path hints),
+//   2. distance-vector-carrying agents (the related work's heavyweights),
+//   3. ant-colony pheromone routing (AntHocNet-style).
+//
+//   ./build/examples/routing_systems_showdown
+#include <cstdio>
+#include <iostream>
+
+#include "agentnet.hpp"
+
+using namespace agentnet;
+
+int main() {
+  RoutingScenarioParams params;
+  params.node_count = 150;
+  params.gateway_count = 8;
+  params.bounds = {{0.0, 0.0}, {800.0, 800.0}};
+  params.trace_steps = 200;
+  const RoutingScenario scenario(params, 404);
+  std::printf(
+      "arena: %zu nodes, %zu gateways, half mobile on battery, 200 steps, "
+      "converged window 100-200\n\n",
+      params.node_count, params.gateway_count);
+
+  Table table({"system", "connectivity", "control MB", "notes"});
+
+  {
+    RoutingTaskConfig task;
+    task.population = 60;
+    task.agent.policy = RoutingPolicy::kOldestNode;
+    task.agent.history_size = 10;
+    task.steps = 200;
+    task.measure_from = 100;
+    const auto r = run_routing_task(scenario, task, Rng(1));
+    table.add_row({std::string("mobile agents (paper)"), r.mean_connectivity,
+                   static_cast<double>(r.migration_bytes) / 1e6,
+                   std::string("60 walkers, history 10")});
+    task.agent.stigmergy = StigmergyMode::kFilterFirst;
+    const auto s = run_routing_task(scenario, task, Rng(1));
+    table.add_row({std::string("  + stigmergy"), s.mean_connectivity,
+                   static_cast<double>(s.migration_bytes) / 1e6,
+                   std::string("same bytes, better spread")});
+  }
+  {
+    DvRoutingTaskConfig cfg;
+    cfg.population = 60;
+    cfg.steps = 200;
+    cfg.measure_from = 100;
+    const auto r = run_dv_routing_task(scenario, cfg, Rng(1));
+    table.add_row({std::string("DV agents (related work)"),
+                   r.mean_connectivity,
+                   static_cast<double>(r.migration_bytes) / 1e6,
+                   std::string("60 walkers, table 40")});
+  }
+  {
+    AntRoutingTaskConfig cfg;
+    cfg.steps = 200;
+    cfg.measure_from = 100;
+    cfg.ants.launch_probability = 0.2;
+    const auto r = run_ant_routing_task(scenario, cfg, Rng(1));
+    char notes[64];
+    std::snprintf(notes, sizeof notes, "%zu ants launched, %zu returned",
+                  r.ants_launched, r.ants_completed);
+    table.add_row({std::string("ant colony (AntHocNet-ish)"),
+                   r.mean_connectivity,
+                   static_cast<double>(r.control_bytes) / 1e6,
+                   std::string(notes)});
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\nreading: constant path sampling (ants) and carried DV tables both "
+      "buy connectivity over the paper's minimal walkers; stigmergy closes "
+      "part of the gap for free. The ant colony — the field's direction "
+      "after this paper (its own ref [9]) — is the strongest system here; "
+      "the mobile-agent designs remain the ones that need zero routing "
+      "intelligence on or about specific destinations and degrade most "
+      "gracefully as state budgets shrink (bench extH).\n");
+  return 0;
+}

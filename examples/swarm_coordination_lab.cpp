@@ -1,0 +1,70 @@
+// Swarm-coordination lab: a side-by-side tour of every agent design choice
+// in the paper, on one mid-sized network — the example to read when deciding
+// which agent to deploy.
+//
+//   ./build/examples/swarm_coordination_lab [population]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "experiments/mapping_experiments.hpp"
+
+#include <iostream>
+
+using namespace agentnet;
+
+int main(int argc, char** argv) {
+  const int population = argc > 1 ? std::atoi(argv[1]) : 15;
+  TargetEdgeParams params;
+  params.geometry.node_count = 150;
+  params.target_edges = 1050;
+  params.tolerance = 0.05;
+  const GeneratedNetwork net = generate_target_edge_network(params, 123);
+  std::printf("arena: %zu nodes / %zu edges, %d agents, 8 runs each\n\n",
+              net.graph.node_count(), net.graph.edge_count(), population);
+
+  struct Design {
+    const char* label;
+    MappingPolicy policy;
+    StigmergyMode stigmergy;
+    bool communication;
+  };
+  const Design designs[] = {
+      {"random", MappingPolicy::kRandom, StigmergyMode::kOff, true},
+      {"random + stigmergy", MappingPolicy::kRandom,
+       StigmergyMode::kFilterFirst, true},
+      {"conscientious", MappingPolicy::kConscientious, StigmergyMode::kOff,
+       true},
+      {"conscientious, comms off", MappingPolicy::kConscientious,
+       StigmergyMode::kOff, false},
+      {"conscientious + stigmergy", MappingPolicy::kConscientious,
+       StigmergyMode::kFilterFirst, true},
+      {"super-conscientious", MappingPolicy::kSuperConscientious,
+       StigmergyMode::kOff, true},
+      {"super-conscientious + stigmergy", MappingPolicy::kSuperConscientious,
+       StigmergyMode::kFilterFirst, true},
+  };
+
+  Table table({"agent design", "finishing time", "ci95", "vs baseline"});
+  table.set_precision(1);
+  double baseline = 0.0;
+  for (const auto& d : designs) {
+    MappingTaskConfig task;
+    task.population = population;
+    task.agent = {d.policy, d.stigmergy};
+    task.communication = d.communication;
+    task.record_series = false;
+    const MappingSummary summary = run_mapping_experiment(net, task, 8, 555);
+    const double mean = summary.finishing_time.mean();
+    if (baseline == 0.0) baseline = mean;
+    table.add_row({std::string(d.label), mean,
+                   confidence_halfwidth(summary.finishing_time),
+                   mean / baseline});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nreadings: cooperation (comms) and directed wandering both matter; "
+      "stigmergy stacks on top of either; super-conscientious needs "
+      "stigmergy to stay ahead at scale.\n");
+  return 0;
+}

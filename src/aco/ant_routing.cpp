@@ -1,0 +1,167 @@
+#include "aco/ant_routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+AntRoutingSystem::AntRoutingSystem(std::size_t node_count,
+                                   std::vector<bool> is_gateway,
+                                   AntRoutingConfig config, Rng rng)
+    : config_(config),
+      is_gateway_(std::move(is_gateway)),
+      pheromone_(node_count),
+      rng_(rng) {
+  AGENTNET_REQUIRE(is_gateway_.size() == node_count,
+                   "gateway mask size mismatch");
+  AGENTNET_REQUIRE(config.launch_probability >= 0.0 &&
+                       config.launch_probability <= 1.0,
+                   "launch probability must be in [0,1]");
+  AGENTNET_REQUIRE(config.evaporation >= 0.0 && config.evaporation < 1.0,
+                   "evaporation must be in [0,1)");
+  AGENTNET_REQUIRE(config.deposit > 0.0, "deposit must be > 0");
+  AGENTNET_REQUIRE(config.exploration > 0.0,
+                   "exploration floor must be > 0 (else unexplored links "
+                   "can never be sampled)");
+  AGENTNET_REQUIRE(config.beta > 0.0, "beta must be > 0");
+  AGENTNET_REQUIRE(config.ant_ttl >= 1, "ant ttl must be >= 1");
+}
+
+double AntRoutingSystem::pheromone(NodeId from, NodeId to) const {
+  AGENTNET_ASSERT(from < pheromone_.size());
+  const auto it = pheromone_[from].find(to);
+  return it == pheromone_[from].end() ? 0.0 : it->second;
+}
+
+void AntRoutingSystem::account_hop(const Ant& ant) {
+  ++ant_hops_;
+  control_bytes_ += 16 + 8 * ant.path.size();
+}
+
+void AntRoutingSystem::advance_forward(Ant& ant, const Graph& graph) {
+  const NodeId at = ant.path.back();
+  if (ant.path.size() > config_.ant_ttl) {
+    ant.path.clear();  // ttl exhausted: die
+    return;
+  }
+  // Candidates: current neighbours not already on the path (loop avoidance).
+  std::vector<NodeId> candidates;
+  std::vector<double> weights;
+  double total = 0.0;
+  for (NodeId v : graph.out_neighbors(at)) {
+    if (std::find(ant.path.begin(), ant.path.end(), v) != ant.path.end())
+      continue;
+    const double w =
+        std::pow(pheromone(at, v) + config_.exploration, config_.beta);
+    candidates.push_back(v);
+    weights.push_back(w);
+    total += w;
+  }
+  if (candidates.empty()) {
+    ant.path.clear();  // dead end: die
+    return;
+  }
+  double pick = rng_.uniform01() * total;
+  std::size_t chosen = candidates.size() - 1;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    pick -= weights[i];
+    if (pick <= 0.0) {
+      chosen = i;
+      break;
+    }
+  }
+  ant.path.push_back(candidates[chosen]);
+  account_hop(ant);
+  if (is_gateway_[candidates[chosen]]) {
+    // Turn around: the backward ant starts at the gateway end.
+    ant.backward = true;
+    ant.position = ant.path.size() - 1;
+  }
+}
+
+void AntRoutingSystem::advance_backward(Ant& ant, const Graph& graph) {
+  // The ant sits at path[position] and wants to hop to path[position-1],
+  // reinforcing that node's entry toward where the ant came from.
+  AGENTNET_ASSERT(ant.position > 0);
+  const NodeId from = ant.path[ant.position];
+  const NodeId to = ant.path[ant.position - 1];
+  if (!graph.has_edge(from, to)) {
+    ant.path.clear();  // the return path broke under it: die
+    return;
+  }
+  ant.position -= 1;
+  account_hop(ant);
+  // Reinforce to → (node the backward ant just came from): that is the
+  // forward direction toward the gateway. Deposit scales inversely with
+  // the full path length (shorter sampled paths are better paths).
+  const double amount =
+      config_.deposit / static_cast<double>(ant.path.size() - 1);
+  pheromone_[to][from] += amount;
+  if (ant.position == 0) {
+    ++ants_completed_;
+    ant.path.clear();  // home again
+  }
+}
+
+void AntRoutingSystem::step(const Graph& graph, std::size_t now) {
+  (void)now;
+  AGENTNET_REQUIRE(graph.node_count() == pheromone_.size(),
+                   "graph size does not match ant system");
+
+  // Evaporation, with pruning of negligible residue.
+  const double keep = 1.0 - config_.evaporation;
+  for (auto& table : pheromone_) {
+    for (auto it = table.begin(); it != table.end();) {
+      it->second *= keep;
+      if (it->second < 1e-9)
+        it = table.erase(it);
+      else
+        ++it;
+    }
+  }
+
+  // Launches (gateways sink ants, they do not source them).
+  for (NodeId v = 0; v < pheromone_.size(); ++v) {
+    if (is_gateway_[v]) continue;
+    if (ants_.size() >= config_.max_ants) break;
+    if (rng_.bernoulli(config_.launch_probability)) {
+      Ant ant;
+      ant.path.push_back(v);
+      ants_.push_back(std::move(ant));
+      ++ants_launched_;
+    }
+  }
+
+  // Advance every ant one hop.
+  for (auto& ant : ants_) {
+    if (ant.path.empty()) continue;
+    if (ant.backward)
+      advance_backward(ant, graph);
+    else
+      advance_forward(ant, graph);
+  }
+  std::erase_if(ants_, [](const Ant& ant) { return ant.path.empty(); });
+}
+
+RoutingTables AntRoutingSystem::snapshot_tables(std::size_t now) const {
+  RoutingTables tables(pheromone_.size());
+  for (NodeId u = 0; u < pheromone_.size(); ++u) {
+    if (is_gateway_[u]) continue;
+    const auto& table = pheromone_[u];
+    if (table.empty()) continue;
+    auto best = table.begin();
+    for (auto it = std::next(table.begin()); it != table.end(); ++it)
+      if (it->second > best->second) best = it;
+    RouteEntry entry;
+    entry.next_hop = best->first;
+    entry.gateway = kInvalidNode;  // ants route toward *any* gateway
+    entry.hops = 1;                // unknown; validity is walk-checked
+    entry.installed_at = now;
+    tables.force(u, entry);
+  }
+  return tables;
+}
+
+}  // namespace agentnet

@@ -1,0 +1,107 @@
+// Ant-colony routing baseline (AntHocNet-style, after Di Caro, Ducatelle &
+// Gambardella — the paper's reference [9]).
+//
+// Where the paper's mobile agents carry state and write routing tables
+// directly, ant routing keeps *pheromone* on the nodes: light forward ants
+// sample paths toward a gateway in Monte Carlo fashion (next hop drawn
+// proportionally to pheromone), and on success a backward ant retraces the
+// path depositing pheromone scaled by path quality. Pheromone evaporates,
+// so stale paths fade as the MANET rewires.
+//
+// The system plugs into the same World / connectivity machinery as the
+// paper's agents: snapshot_tables() projects each node's argmax pheromone
+// entry into a RoutingTables view, which measure_connectivity() then
+// validates over the live graph — an apples-to-apples comparison (bench
+// extF), including control overhead in bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/graph.hpp"
+#include "routing/routing_table.hpp"
+
+namespace agentnet {
+
+struct AntRoutingConfig {
+  /// Per non-gateway node per step: probability of launching a forward ant.
+  double launch_probability = 0.2;
+  /// Pheromone decay factor per step (τ ← (1-ρ)τ).
+  double evaporation = 0.02;
+  /// Pheromone deposited by a backward ant, divided by path length.
+  double deposit = 1.0;
+  /// Additive exploration floor so unexplored links keep a chance.
+  double exploration = 0.05;
+  /// Pheromone exponent in the sampling weight (τ+ε)^β.
+  double beta = 2.0;
+  /// Forward-ant hop budget.
+  std::uint32_t ant_ttl = 40;
+  /// Concurrent-ant cap (drops launches beyond it).
+  std::size_t max_ants = 4096;
+};
+
+class AntRoutingSystem {
+ public:
+  AntRoutingSystem(std::size_t node_count, std::vector<bool> is_gateway,
+                   AntRoutingConfig config, Rng rng);
+
+  /// One simulation step: evaporate, launch forward ants, advance every
+  /// ant one hop (forward ants sample, backward ants retrace + deposit).
+  void step(const Graph& graph, std::size_t now);
+
+  /// Current pheromone on the directed pair (from → to); 0 if none.
+  double pheromone(NodeId from, NodeId to) const;
+
+  /// Each node's argmax-pheromone next hop as a routing-table snapshot
+  /// (entries stamped `now` so the freshness policy never evicts them).
+  RoutingTables snapshot_tables(std::size_t now) const;
+
+  std::size_t active_ants() const { return ants_.size(); }
+  /// Cumulative ant hops (forward + backward).
+  std::size_t ant_hops() const { return ant_hops_; }
+  /// Cumulative control traffic: each hop ships the ant's 16-byte header
+  /// plus its carried path (8 bytes per entry).
+  std::size_t control_bytes() const { return control_bytes_; }
+  std::size_t ants_launched() const { return ants_launched_; }
+  std::size_t ants_completed() const { return ants_completed_; }
+
+  const AntRoutingConfig& config() const { return config_; }
+
+ private:
+  struct Ant {
+    std::vector<NodeId> path;  ///< Nodes visited, path.front() = source.
+    std::size_t position = 0;  ///< Index into path (backward phase).
+    bool backward = false;
+  };
+
+  void advance_forward(Ant& ant, const Graph& graph);
+  void advance_backward(Ant& ant, const Graph& graph);
+  void account_hop(const Ant& ant);
+
+  AntRoutingConfig config_;
+  std::vector<bool> is_gateway_;
+  /// pheromone_[u] maps neighbour id → τ(u → neighbour).
+  std::vector<std::map<NodeId, double>> pheromone_;
+  std::vector<Ant> ants_;
+  Rng rng_;
+  std::size_t ant_hops_ = 0;
+  std::size_t control_bytes_ = 0;
+  std::size_t ants_launched_ = 0;
+  std::size_t ants_completed_ = 0;
+};
+
+/// Runs ant routing on a scenario world and reports the same converged
+/// connectivity statistic as run_routing_task, plus overhead counters.
+struct AntRoutingResult {
+  std::vector<double> connectivity;
+  double mean_connectivity = 0.0;
+  double stddev_connectivity = 0.0;
+  std::size_t ant_hops = 0;
+  std::size_t control_bytes = 0;
+  std::size_t ants_launched = 0;
+  std::size_t ants_completed = 0;
+};
+
+}  // namespace agentnet

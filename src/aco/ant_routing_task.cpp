@@ -1,0 +1,38 @@
+#include "aco/ant_routing_task.hpp"
+
+#include "common/stats.hpp"
+#include "routing/connectivity.hpp"
+
+namespace agentnet {
+
+AntRoutingResult run_ant_routing_task(const RoutingScenario& scenario,
+                                      const AntRoutingTaskConfig& config,
+                                      Rng rng) {
+  AGENTNET_REQUIRE(config.measure_from < config.steps,
+                   "measure_from must precede steps");
+  World world = scenario.make_world();
+  AntRoutingSystem ants(world.node_count(), scenario.is_gateway(),
+                        config.ants, rng);
+  AntRoutingResult result;
+  result.connectivity.reserve(config.steps);
+  for (std::size_t t = 0; t < config.steps; ++t) {
+    ants.step(world.graph(), t);
+    world.advance();
+    const RoutingTables tables = ants.snapshot_tables(t);
+    result.connectivity.push_back(
+        measure_connectivity(world.graph(), tables, scenario.is_gateway())
+            .fraction());
+  }
+  RunningStats window;
+  for (std::size_t t = config.measure_from; t < config.steps; ++t)
+    window.add(result.connectivity[t]);
+  result.mean_connectivity = window.mean();
+  result.stddev_connectivity = window.stddev();
+  result.ant_hops = ants.ant_hops();
+  result.control_bytes = ants.control_bytes();
+  result.ants_launched = ants.ants_launched();
+  result.ants_completed = ants.ants_completed();
+  return result;
+}
+
+}  // namespace agentnet

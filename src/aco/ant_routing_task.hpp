@@ -1,0 +1,21 @@
+// Runs the ant-colony baseline on the paper's routing scenario with the
+// identical measurement protocol as run_routing_task, so bench extF can
+// compare the two systems line for line.
+#pragma once
+
+#include "aco/ant_routing.hpp"
+#include "core/routing_task.hpp"
+
+namespace agentnet {
+
+struct AntRoutingTaskConfig {
+  AntRoutingConfig ants{};
+  std::size_t steps = 300;
+  std::size_t measure_from = 150;
+};
+
+AntRoutingResult run_ant_routing_task(const RoutingScenario& scenario,
+                                      const AntRoutingTaskConfig& config,
+                                      Rng rng);
+
+}  // namespace agentnet

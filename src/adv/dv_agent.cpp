@@ -1,0 +1,145 @@
+#include "adv/dv_agent.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "routing/connectivity.hpp"
+
+namespace agentnet {
+
+DvAgent::DvAgent(int id, NodeId start, DvAgentConfig config, Rng rng)
+    : id_(id), location_(start), config_(config), rng_(rng) {
+  AGENTNET_REQUIRE(config.table_size >= 2, "table size must be >= 2");
+  AGENTNET_REQUIRE(config.entry_ttl >= 1, "entry ttl must be >= 1");
+}
+
+void DvAgent::trim(std::size_t now) {
+  // Drop expired entries first, then evict least-recently-updated.
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (now > it->second.updated + config_.entry_ttl)
+      it = table_.erase(it);
+    else
+      ++it;
+  }
+  while (table_.size() > config_.table_size) {
+    auto oldest = table_.begin();
+    for (auto it = std::next(table_.begin()); it != table_.end(); ++it)
+      if (it->second.updated < oldest->second.updated) oldest = it;
+    table_.erase(oldest);
+  }
+}
+
+void DvAgent::arrive(const Graph& graph, const std::vector<bool>& is_gateway,
+                     std::size_t now) {
+  AGENTNET_ASSERT(location_ < is_gateway.size());
+  if (is_gateway[location_]) {
+    table_[location_] = {0, now};
+  } else {
+    // Bellman-Ford relaxation against live neighbours the agent knows.
+    std::uint32_t best = kInvalidDistance;
+    for (NodeId w : graph.out_neighbors(location_)) {
+      const auto it = table_.find(w);
+      if (it == table_.end()) continue;
+      best = std::min(best, it->second.distance + 1);
+    }
+    if (best != kInvalidDistance) {
+      auto it = table_.find(location_);
+      // Accept improvements outright; equal-or-worse refreshes only rewrite
+      // the estimate (mobility makes old better values untrustworthy).
+      if (it == table_.end() || best <= it->second.distance ||
+          now > it->second.updated + config_.entry_ttl / 2)
+        table_[location_] = {best, now};
+      else
+        it->second.updated = now;
+    }
+  }
+  trim(now);
+}
+
+NodeId DvAgent::decide(const Graph& graph, std::size_t now) {
+  const auto neighbors = graph.out_neighbors(location_);
+  if (neighbors.empty()) return location_;
+  // Least-recently-refreshed neighbour (unknown first) via the shared
+  // selection rule — the DV analogue of oldest-node. The board is a dummy:
+  // with StigmergyMode::kOff it is never consulted.
+  static const StigmergyBoard kNoBoard(1);
+  return select_target(
+      neighbors,
+      [&](NodeId v) {
+        const auto it = table_.find(v);
+        return it == table_.end()
+                   ? kNeverVisited
+                   : static_cast<std::int64_t>(it->second.updated);
+      },
+      StigmergyMode::kOff, kNoBoard, location_, now, rng_,
+      TieBreak::kSharedHash);
+}
+
+void DvAgent::move_to(NodeId target) { location_ = target; }
+
+bool DvAgent::install(const Graph& graph, RoutingTables& tables,
+                      const std::vector<bool>& is_gateway, std::size_t now) {
+  if (is_gateway[location_]) return false;
+  NodeId best_hop = kInvalidNode;
+  std::uint32_t best_dist = kInvalidDistance;
+  for (NodeId w : graph.out_neighbors(location_)) {
+    const auto it = table_.find(w);
+    if (it == table_.end()) continue;
+    if (it->second.distance < best_dist) {
+      best_dist = it->second.distance;
+      best_hop = w;
+    }
+  }
+  if (best_hop == kInvalidNode) return false;
+  RouteEntry entry;
+  entry.next_hop = best_hop;
+  entry.gateway = kInvalidNode;  // DV routes toward the nearest gateway
+  entry.hops = best_dist + 1;
+  entry.installed_at = now;
+  return tables.offer(location_, entry, now);
+}
+
+DvRoutingTaskResult run_dv_routing_task(const RoutingScenario& scenario,
+                                        const DvRoutingTaskConfig& config,
+                                        Rng rng) {
+  AGENTNET_REQUIRE(config.population >= 1, "population must be >= 1");
+  AGENTNET_REQUIRE(config.measure_from < config.steps,
+                   "measure_from must precede steps");
+  World world = scenario.make_world();
+  const std::size_t n = world.node_count();
+  const auto& is_gateway = scenario.is_gateway();
+  RoutingTables tables(n, config.route_policy);
+
+  std::vector<DvAgent> agents;
+  agents.reserve(static_cast<std::size_t>(config.population));
+  for (int a = 0; a < config.population; ++a)
+    agents.emplace_back(a, static_cast<NodeId>(rng.index(n)), config.agent,
+                        rng.fork(static_cast<std::uint64_t>(a) + 1));
+
+  DvRoutingTaskResult result;
+  result.connectivity.reserve(config.steps);
+  for (std::size_t t = 0; t < config.steps; ++t) {
+    for (auto& agent : agents) agent.arrive(world.graph(), is_gateway, t);
+    std::vector<NodeId> targets(agents.size());
+    for (std::size_t i = 0; i < agents.size(); ++i)
+      targets[i] = agents[i].decide(world.graph(), t);
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+      if (targets[i] != agents[i].location())
+        result.migration_bytes += agents[i].state_size_bytes();
+      agents[i].move_to(targets[i]);
+      agents[i].install(world.graph(), tables, is_gateway, t);
+    }
+    world.advance();
+    result.connectivity.push_back(
+        measure_connectivity(world.graph(), tables, is_gateway).fraction());
+  }
+  RunningStats window;
+  for (std::size_t t = config.measure_from; t < config.steps; ++t)
+    window.add(result.connectivity[t]);
+  result.mean_connectivity = window.mean();
+  result.stddev_connectivity = window.stddev();
+  return result;
+}
+
+}  // namespace agentnet

@@ -1,0 +1,63 @@
+// Umbrella header: the whole public API of agentnet.
+//
+//   #include "agentnet.hpp"
+//
+// Layering (each header can also be included individually):
+//   common/   rng, stats, tables, options, env, logging, errors
+//   geom/     2-D vectors, spatial hash grid
+//   energy/   battery models
+//   radio/    range models (heterogeneous, battery-scaled)
+//   mobility/ stationary, random-direction, random-waypoint, Gauss-Markov,
+//             recorded traces
+//   net/      directed graph, topology builder, generators, metrics
+//   sim/      the simulated World
+//   routing/  routing tables, connectivity metrics
+//   traffic/  packet-level delivery over agent-maintained routes
+//   core/     the paper's agents and tasks (mapping + dynamic routing)
+//   aco/      ant-colony routing baseline (AntHocNet-style, ref [9])
+//   adv/      distance-vector-carrying agent baseline (refs [10][11])
+//   flooding/ link-state flooding baseline for mapping
+//   io/       save/load, DOT and CSV export, run recording
+//   experiments/ multi-run harness and paper constants
+#pragma once
+
+#include "aco/ant_routing.hpp"
+#include "aco/ant_routing_task.hpp"
+#include "adv/dv_agent.hpp"
+#include "common/compare.hpp"
+#include "common/dense_bitset.hpp"
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/options.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/map_knowledge.hpp"
+#include "core/mapping_agent.hpp"
+#include "core/mapping_task.hpp"
+#include "core/routing_agent.hpp"
+#include "core/routing_task.hpp"
+#include "core/selection.hpp"
+#include "core/stigmergy.hpp"
+#include "energy/battery.hpp"
+#include "experiments/mapping_experiments.hpp"
+#include "experiments/paper.hpp"
+#include "experiments/routing_experiments.hpp"
+#include "flooding/link_state.hpp"
+#include "geom/spatial_grid.hpp"
+#include "geom/vec2.hpp"
+#include "io/network_io.hpp"
+#include "io/scenario_io.hpp"
+#include "mobility/mobility.hpp"
+#include "net/generators.hpp"
+#include "net/graph.hpp"
+#include "net/link_noise.hpp"
+#include "net/metrics.hpp"
+#include "net/topology.hpp"
+#include "radio/range_model.hpp"
+#include "routing/connectivity.hpp"
+#include "routing/route_metrics.hpp"
+#include "routing/routing_table.hpp"
+#include "sim/world.hpp"
+#include "traffic/traffic.hpp"

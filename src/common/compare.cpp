@@ -1,0 +1,52 @@
+#include "common/compare.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+Comparison compare_samples(const RunningStats& a, const RunningStats& b) {
+  AGENTNET_REQUIRE(a.count() >= 2 && b.count() >= 2,
+                   "need >= 2 observations per sample");
+  Comparison cmp;
+  cmp.mean_a = a.mean();
+  cmp.mean_b = b.mean();
+  cmp.difference = a.mean() - b.mean();
+
+  const double na = static_cast<double>(a.count());
+  const double nb = static_cast<double>(b.count());
+  const double va = a.variance() / na;
+  const double vb = b.variance() / nb;
+  const double pooled_sd = std::sqrt(
+      ((na - 1.0) * a.variance() + (nb - 1.0) * b.variance()) /
+      (na + nb - 2.0));
+  cmp.effect_size = pooled_sd > 0.0 ? cmp.difference / pooled_sd : 0.0;
+
+  if (va + vb <= 0.0) {
+    // Degenerate: identical constants or a genuinely deterministic pair.
+    cmp.t_statistic = cmp.difference == 0.0 ? 0.0
+                      : cmp.difference > 0.0
+                          ? std::numeric_limits<double>::infinity()
+                          : -std::numeric_limits<double>::infinity();
+    cmp.degrees_of_freedom = na + nb - 2.0;
+    cmp.p_value = cmp.difference == 0.0 ? 1.0 : 0.0;
+    return cmp;
+  }
+
+  cmp.t_statistic = cmp.difference / std::sqrt(va + vb);
+  cmp.degrees_of_freedom =
+      (va + vb) * (va + vb) /
+      (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  // Normal approximation; conservative enough at df >= ~10 (the harness
+  // runs 6-40 repetitions per setting).
+  cmp.p_value = 2.0 * (1.0 - normal_cdf(std::abs(cmp.t_statistic)));
+  return cmp;
+}
+
+}  // namespace agentnet

@@ -1,0 +1,94 @@
+// Fixed-size dense bitset with popcount and bulk union — the representation
+// behind agents' edge-knowledge stores (n² bits for an n-node network is a
+// few KiB at agentnet's scales, and whole-knowledge merges become a short
+// run of OR instructions).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(std::size_t bit_count)
+      : bit_count_(bit_count), words_((bit_count + 63) / 64, 0) {}
+
+  std::size_t size() const { return bit_count_; }
+
+  bool test(std::size_t i) const {
+    AGENTNET_ASSERT(i < bit_count_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Sets bit i; returns true when the bit was previously clear.
+  bool set(std::size_t i) {
+    AGENTNET_ASSERT(i < bit_count_);
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    std::uint64_t& w = words_[i >> 6];
+    if (w & mask) return false;
+    w |= mask;
+    ++count_;
+    return true;
+  }
+
+  void reset(std::size_t i) {
+    AGENTNET_ASSERT(i < bit_count_);
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    std::uint64_t& w = words_[i >> 6];
+    if (w & mask) {
+      w &= ~mask;
+      --count_;
+    }
+  }
+
+  /// Number of set bits (tracked incrementally; O(1)).
+  std::size_t count() const { return count_; }
+
+  /// this |= other. Sizes must match. Returns bits newly set.
+  std::size_t merge(const DenseBitset& other) {
+    AGENTNET_REQUIRE(bit_count_ == other.bit_count_,
+                     "bitset size mismatch in merge");
+    std::size_t added = 0;
+    for (std::size_t k = 0; k < words_.size(); ++k) {
+      const std::uint64_t before = words_[k];
+      const std::uint64_t after = before | other.words_[k];
+      if (after != before) {
+        added += static_cast<std::size_t>(std::popcount(after ^ before));
+        words_[k] = after;
+      }
+    }
+    count_ += added;
+    return added;
+  }
+
+  /// Number of bits set in (this ∩ other).
+  std::size_t intersection_count(const DenseBitset& other) const {
+    AGENTNET_REQUIRE(bit_count_ == other.bit_count_,
+                     "bitset size mismatch in intersection");
+    std::size_t n = 0;
+    for (std::size_t k = 0; k < words_.size(); ++k)
+      n += static_cast<std::size_t>(
+          std::popcount(words_[k] & other.words_[k]));
+    return n;
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+    count_ = 0;
+  }
+
+  friend bool operator==(const DenseBitset&, const DenseBitset&) = default;
+
+ private:
+  std::size_t bit_count_ = 0;
+  std::vector<std::uint64_t> words_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace agentnet

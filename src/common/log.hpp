@@ -1,0 +1,46 @@
+// Minimal leveled logging to stderr. Simulations are deterministic and
+// quiet by default; set level to Debug for per-step traces in examples.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace agentnet {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn so
+/// library users see problems but not chatter.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line "<LEVEL> <message>" to stderr if enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace agentnet
+
+#define AGENTNET_LOG(level) ::agentnet::detail::LogLine(level)
+#define AGENTNET_DEBUG() AGENTNET_LOG(::agentnet::LogLevel::kDebug)
+#define AGENTNET_INFO() AGENTNET_LOG(::agentnet::LogLevel::kInfo)
+#define AGENTNET_WARN() AGENTNET_LOG(::agentnet::LogLevel::kWarn)
+#define AGENTNET_ERROR() AGENTNET_LOG(::agentnet::LogLevel::kError)

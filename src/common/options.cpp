@@ -1,0 +1,96 @@
+#include "common/options.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+Options Options::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+Options Options::parse(const std::vector<std::string>& args) {
+  Options options;
+  for (const auto& arg : args) {
+    const auto eq = arg.find('=');
+    std::string key = eq == std::string::npos ? arg : arg.substr(0, eq);
+    std::string value = eq == std::string::npos ? "true" : arg.substr(eq + 1);
+    AGENTNET_REQUIRE(!key.empty(), "empty option key in: " + arg);
+    AGENTNET_REQUIRE(!options.values_.contains(key),
+                     "option given twice: " + key);
+    options.values_.emplace(std::move(key), std::move(value));
+  }
+  return options;
+}
+
+bool Options::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::string Options::get_string(const std::string& key,
+                                std::string fallback) {
+  queried_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key, std::int64_t fallback) {
+  queried_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t out = std::stoll(it->second, &pos);
+    AGENTNET_REQUIRE(pos == it->second.size(), "trailing characters");
+    return out;
+  } catch (const std::exception&) {
+    throw ConfigError("option " + key + " is not an integer: " + it->second);
+  }
+}
+
+double Options::get_double(const std::string& key, double fallback) {
+  queried_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(it->second, &pos);
+    AGENTNET_REQUIRE(pos == it->second.size(), "trailing characters");
+    return out;
+  } catch (const std::exception&) {
+    throw ConfigError("option " + key + " is not a number: " + it->second);
+  }
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) {
+  queried_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string s = it->second;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  throw ConfigError("option " + key + " is not a boolean: " + it->second);
+}
+
+std::vector<std::string> Options::unrecognized() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_)
+    if (!queried_.contains(key)) out.push_back(key);
+  return out;
+}
+
+void Options::finish() const {
+  const auto stray = unrecognized();
+  if (stray.empty()) return;
+  std::string message = "unrecognised option(s):";
+  for (const auto& key : stray) message += " " + key;
+  throw ConfigError(message);
+}
+
+}  // namespace agentnet

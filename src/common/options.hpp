@@ -1,0 +1,43 @@
+// key=value command-line options for the examples and the experiment CLI.
+//
+//   Options opts = Options::parse(argc, argv);
+//   auto nodes = opts.get_int("nodes", 250);
+//   auto policy = opts.get_string("policy", "oldest");
+//   opts.finish();   // throws on unrecognised keys (typo guard)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace agentnet {
+
+class Options {
+ public:
+  /// Parses argv[1..] as key=value tokens. A bare token (no '=') is
+  /// treated as a boolean flag set to true. Throws ConfigError on an
+  /// empty key or a repeated key.
+  static Options parse(int argc, const char* const* argv);
+  /// Convenience for tests.
+  static Options parse(const std::vector<std::string>& args);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key, std::string fallback);
+  std::int64_t get_int(const std::string& key, std::int64_t fallback);
+  double get_double(const std::string& key, double fallback);
+  bool get_bool(const std::string& key, bool fallback);
+
+  /// Keys that were supplied but never queried (usually typos).
+  std::vector<std::string> unrecognized() const;
+  /// Throws ConfigError listing unrecognised keys, if any.
+  void finish() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> queried_;
+};
+
+}  // namespace agentnet

@@ -1,0 +1,93 @@
+#include "core/map_knowledge.hpp"
+
+#include <algorithm>
+
+namespace agentnet {
+
+MapKnowledge::MapKnowledge(std::size_t node_count)
+    : node_count_(node_count),
+      first_hand_(node_count * node_count),
+      second_hand_(node_count * node_count),
+      combined_(node_count * node_count),
+      first_hand_visit_(node_count, kNeverVisited),
+      any_visit_(node_count, kNeverVisited) {
+  AGENTNET_REQUIRE(node_count > 0, "knowledge needs >= 1 node");
+}
+
+void MapKnowledge::observe_node(NodeId node,
+                                std::span<const NodeId> out_neighbors,
+                                std::size_t now) {
+  AGENTNET_ASSERT(node < node_count_);
+  const auto t = static_cast<std::int64_t>(now);
+  first_hand_visit_[node] = std::max(first_hand_visit_[node], t);
+  any_visit_[node] = std::max(any_visit_[node], t);
+  for (NodeId v : out_neighbors) {
+    const std::size_t bit = bit_index(node, v);
+    first_hand_.set(bit);
+    combined_.set(bit);
+  }
+}
+
+void MapKnowledge::learn_from(const MapKnowledge& peer) {
+  AGENTNET_REQUIRE(peer.node_count_ == node_count_,
+                   "knowledge node-count mismatch");
+  second_hand_.merge(peer.combined_);
+  combined_.merge(peer.combined_);
+  for (std::size_t i = 0; i < node_count_; ++i)
+    any_visit_[i] = std::max(any_visit_[i], peer.any_visit_[i]);
+}
+
+void MapKnowledge::learn_union(const DenseBitset& edges,
+                               std::span<const std::int64_t> visits) {
+  AGENTNET_REQUIRE(edges.size() == node_count_ * node_count_,
+                   "pooled edge bitset size mismatch");
+  AGENTNET_REQUIRE(visits.size() == node_count_,
+                   "pooled visit vector size mismatch");
+  second_hand_.merge(edges);
+  combined_.merge(edges);
+  for (std::size_t i = 0; i < node_count_; ++i)
+    any_visit_[i] = std::max(any_visit_[i], visits[i]);
+}
+
+bool MapKnowledge::knows_edge_first_hand(NodeId u, NodeId v) const {
+  return first_hand_.test(bit_index(u, v));
+}
+
+bool MapKnowledge::knows_edge(NodeId u, NodeId v) const {
+  return combined_.test(bit_index(u, v));
+}
+
+std::size_t MapKnowledge::known_edge_count_in(const Graph& truth) const {
+  AGENTNET_REQUIRE(truth.node_count() == node_count_,
+                   "truth graph node-count mismatch");
+  std::size_t n = 0;
+  for (NodeId u = 0; u < node_count_; ++u)
+    for (NodeId v : truth.out_neighbors(u))
+      if (knows_edge(u, v)) ++n;
+  return n;
+}
+
+std::int64_t MapKnowledge::last_visit_first_hand(NodeId node) const {
+  AGENTNET_ASSERT(node < node_count_);
+  return first_hand_visit_[node];
+}
+
+std::int64_t MapKnowledge::last_visit_any(NodeId node) const {
+  AGENTNET_ASSERT(node < node_count_);
+  return any_visit_[node];
+}
+
+std::size_t MapKnowledge::serialized_size_bytes() const {
+  std::size_t visited = 0;
+  for (std::int64_t t : any_visit_)
+    if (t != kNeverVisited) ++visited;
+  return 8 * combined_.count() + 12 * visited;
+}
+
+double MapKnowledge::completeness(std::size_t truth_edge_count) const {
+  if (truth_edge_count == 0) return 1.0;
+  return static_cast<double>(known_edge_count()) /
+         static_cast<double>(truth_edge_count);
+}
+
+}  // namespace agentnet

@@ -1,0 +1,91 @@
+// An agent's model of the network topology, split into first-hand knowledge
+// (edges the agent observed itself, nodes it visited) and second-hand
+// knowledge (learned from peers during direct communication) — the paper
+// keeps the two stores separate because movement policies differ in which
+// they may consult: conscientious agents use first-hand only,
+// super-conscientious agents use both.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/dense_bitset.hpp"
+#include "core/selection.hpp"
+#include "net/graph.hpp"
+
+namespace agentnet {
+
+class MapKnowledge {
+ public:
+  explicit MapKnowledge(std::size_t node_count);
+
+  std::size_t node_count() const { return node_count_; }
+
+  /// First-hand observation: the agent stands on `node` at time `now` and
+  /// sees all of its out-edges.
+  void observe_node(NodeId node, std::span<const NodeId> out_neighbors,
+                    std::size_t now);
+
+  /// Direct communication: absorbs everything `peer` knows (both hands)
+  /// into this agent's *second-hand* store.
+  void learn_from(const MapKnowledge& peer);
+
+  /// Bulk variant of learn_from used for co-located groups: absorbs a
+  /// pooled edge set and pooled visit times (see MappingTask). `edges` must
+  /// be node_count² bits; `visits` node_count entries.
+  void learn_union(const DenseBitset& edges,
+                   std::span<const std::int64_t> visits);
+
+  /// The agent's full (first ∪ second hand) edge set; used to pool group
+  /// knowledge without exposing internals for mutation.
+  const DenseBitset& combined_edges() const { return combined_; }
+  /// Last-visit times over both hands, indexed by node.
+  std::span<const std::int64_t> any_visits() const { return any_visit_; }
+
+  bool knows_edge_first_hand(NodeId u, NodeId v) const;
+  /// Either hand.
+  bool knows_edge(NodeId u, NodeId v) const;
+
+  std::size_t first_hand_edge_count() const { return first_hand_.count(); }
+  /// Size of (first ∪ second) hand edge sets — the agent's full map.
+  std::size_t known_edge_count() const { return combined_.count(); }
+
+  /// |known ∩ truth| — for dynamic topologies where stale knowledge may
+  /// reference edges that no longer exist.
+  std::size_t known_edge_count_in(const Graph& truth) const;
+
+  std::int64_t last_visit_first_hand(NodeId node) const;
+  /// Includes visit times learned from peers (what super-conscientious
+  /// movement consults).
+  std::int64_t last_visit_any(NodeId node) const;
+  bool visited_first_hand(NodeId node) const {
+    return last_visit_first_hand(node) != kNeverVisited;
+  }
+
+  /// Fraction of `truth_edge_count` edges known; truth must be the count of
+  /// the graph the observations came from.
+  double completeness(std::size_t truth_edge_count) const;
+
+  /// Serialized size of this knowledge store if the agent migrated now:
+  /// 8 bytes per known edge plus 12 per node with a known visit time. The
+  /// paper cares about agent overhead ("due to cost of trans[portation an]
+  /// agent should be small in size"); tasks meter migration traffic with
+  /// this.
+  std::size_t serialized_size_bytes() const;
+
+ private:
+  std::size_t bit_index(NodeId u, NodeId v) const {
+    AGENTNET_ASSERT(u < node_count_ && v < node_count_);
+    return static_cast<std::size_t>(u) * node_count_ + v;
+  }
+
+  std::size_t node_count_;
+  DenseBitset first_hand_;
+  DenseBitset second_hand_;
+  DenseBitset combined_;  // first ∪ second, maintained incrementally
+  std::vector<std::int64_t> first_hand_visit_;
+  std::vector<std::int64_t> any_visit_;
+};
+
+}  // namespace agentnet

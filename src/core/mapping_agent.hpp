@@ -1,0 +1,81 @@
+// Mapping agents (section II of the paper): mobile programs that wander an
+// unknown network and cooperatively build its map.
+#pragma once
+
+#include "common/rng.hpp"
+#include "core/map_knowledge.hpp"
+#include "core/selection.hpp"
+#include "core/stigmergy.hpp"
+#include "net/graph.hpp"
+
+namespace agentnet {
+
+enum class MappingPolicy {
+  kRandom,             ///< Uniform random out-neighbour each step.
+  kConscientious,      ///< Least-recently-visited by first-hand knowledge.
+  kSuperConscientious  ///< Least-recently-visited by both hands.
+};
+
+struct MappingAgentConfig {
+  MappingPolicy policy = MappingPolicy::kConscientious;
+  StigmergyMode stigmergy = StigmergyMode::kOff;
+  /// Minar et al.'s dispersal fix: with this probability the agent ignores
+  /// its policy for one step and moves to a uniformly random neighbour
+  /// ("N. Minar et al. add randomness to the decision that the
+  /// super-conscientious agents make in order to disperse their agents").
+  /// The extD bench compares this fix against the paper's stigmergy.
+  double randomness = 0.0;
+};
+
+const char* to_string(MappingPolicy policy);
+
+class MappingAgent {
+ public:
+  MappingAgent(int id, NodeId start, std::size_t node_count,
+               MappingAgentConfig config, Rng rng);
+
+  int id() const { return id_; }
+  NodeId location() const { return location_; }
+  const MappingAgentConfig& config() const { return config_; }
+  const MapKnowledge& knowledge() const { return knowledge_; }
+  bool stigmergic() const {
+    return config_.stigmergy != StigmergyMode::kOff;
+  }
+
+  /// Phase 1: learn all out-edges of the current node (first-hand).
+  void sense(const Graph& graph, std::size_t now);
+
+  /// Phase 2: direct communication — absorb a co-located group's pooled
+  /// knowledge into the second-hand store.
+  void learn_union(const DenseBitset& edges,
+                   std::span<const std::int64_t> visits);
+
+  /// Phase 3: choose the next node. Returns the current location when the
+  /// node has no out-neighbours (the agent waits).
+  NodeId decide(const Graph& graph, const StigmergyBoard& board,
+                std::size_t now);
+
+  /// Phase 4 + move. Stamps nothing by itself — the task stamps footprints
+  /// so decision order and board writes stay in one place.
+  void move_to(NodeId target);
+
+  /// Serialized agent size if it migrated now: its knowledge plus a fixed
+  /// 64-byte code/descriptor stub. Tasks meter migration traffic with this.
+  std::size_t state_size_bytes() const {
+    return 64 + knowledge_.serialized_size_bytes();
+  }
+
+  /// Test hook: direct peer-to-peer learning.
+  void learn_from(const MappingAgent& peer) {
+    knowledge_.learn_from(peer.knowledge_);
+  }
+
+ private:
+  int id_;
+  NodeId location_;
+  MappingAgentConfig config_;
+  MapKnowledge knowledge_;
+  Rng rng_;
+};
+
+}  // namespace agentnet

@@ -1,0 +1,220 @@
+#include "core/mapping_task.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/dense_bitset.hpp"
+#include "common/log.hpp"
+
+namespace agentnet {
+
+namespace {
+
+/// Groups agent indices by location; returns only groups of two or more.
+std::vector<std::vector<std::size_t>> colocated_groups(
+    const std::vector<MappingAgent>& agents) {
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<std::size_t> order(agents.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return agents[a].location() < agents[b].location();
+  });
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i + 1;
+    while (j < order.size() &&
+           agents[order[j]].location() == agents[order[i]].location())
+      ++j;
+    if (j - i >= 2)
+      groups.emplace_back(order.begin() + i, order.begin() + j);
+    i = j;
+  }
+  return groups;
+}
+
+/// Union-find for radius-1 meetings: agents on the same node or on nodes
+/// joined by a link (either direction carries the exchange) share a group,
+/// transitively.
+class AgentUnion {
+ public:
+  explicit AgentUnion(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+std::vector<std::vector<std::size_t>> in_range_groups(
+    const std::vector<MappingAgent>& agents, const Graph& graph) {
+  AgentUnion uf(agents.size());
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    for (std::size_t j = i + 1; j < agents.size(); ++j) {
+      const NodeId a = agents[i].location();
+      const NodeId b = agents[j].location();
+      if (a == b || graph.has_edge(a, b) || graph.has_edge(b, a))
+        uf.unite(i, j);
+    }
+  }
+  std::vector<std::vector<std::size_t>> by_root(agents.size());
+  for (std::size_t i = 0; i < agents.size(); ++i)
+    by_root[uf.find(i)].push_back(i);
+  std::vector<std::vector<std::size_t>> groups;
+  for (auto& g : by_root)
+    if (g.size() >= 2) groups.push_back(std::move(g));
+  return groups;
+}
+
+}  // namespace
+
+MappingTaskResult run_mapping_task(World& world,
+                                   const MappingTaskConfig& config, Rng rng) {
+  AGENTNET_REQUIRE(config.population >= 1, "population must be >= 1");
+  const std::size_t n = world.node_count();
+  MappingTaskResult result;
+  result.truth_edges = config.truth_edges_override
+                           ? *config.truth_edges_override
+                           : world.graph().edge_count();
+  AGENTNET_REQUIRE(result.truth_edges > 0, "mapping an edgeless network");
+
+  const std::vector<MappingAgentConfig> roster =
+      config.team.empty()
+          ? std::vector<MappingAgentConfig>(
+                static_cast<std::size_t>(config.population), config.agent)
+          : config.team;
+  std::vector<MappingAgent> agents;
+  agents.reserve(roster.size());
+  for (std::size_t a = 0; a < roster.size(); ++a) {
+    const NodeId start = static_cast<NodeId>(rng.index(n));
+    agents.emplace_back(static_cast<int>(a), start, n, roster[a],
+                        rng.fork(static_cast<std::uint64_t>(a) + 1));
+  }
+
+  StigmergyBoard board(n, config.stigmergy_horizon,
+                       config.stigmergy_capacity);
+  DenseBitset pooled_edges(n * n);
+  std::vector<std::int64_t> pooled_visits(n);
+  // The monitoring entity's collected map (completeness is tracked against
+  // the step-0 truth; pair it with advance_world only for rough readings).
+  DenseBitset monitor_map(config.monitor_node ? n * n : 0);
+  if (config.monitor_node)
+    AGENTNET_REQUIRE(*config.monitor_node < n,
+                     "monitor node out of range");
+  std::vector<std::size_t> decide_order(agents.size());
+  std::iota(decide_order.begin(), decide_order.end(), 0);
+
+  // Knowledge is measured against the step-0 truth; with advance_world the
+  // per-step truth is used instead (stale knowledge stops counting).
+  const auto knowledge_fraction = [&](const MappingAgent& agent) {
+    // With an explicit truth override (flapping-link worlds) the agent is
+    // graded against the underlying full topology: every edge exists and
+    // is eventually observable, so plain completeness applies.
+    if (!config.advance_world || config.truth_edges_override)
+      return agent.knowledge().completeness(result.truth_edges);
+    const Graph& truth = world.graph();
+    if (truth.edge_count() == 0) return 1.0;
+    return static_cast<double>(
+               agent.knowledge().known_edge_count_in(truth)) /
+           static_cast<double>(truth.edge_count());
+  };
+
+  for (std::size_t t = 0; t <= config.max_steps; ++t) {
+    // Phase 1: every agent learns the out-edges of its node.
+    for (auto& agent : agents) agent.sense(world.graph(), t);
+
+    // Phase 2: direct communication within co-located (or, with
+    // comm_radius 1, in-range) groups. Pool first, then distribute, so
+    // exchange is simultaneous (order-free).
+    if (config.communication && agents.size() > 1) {
+      AGENTNET_REQUIRE(config.comm_radius <= 1,
+                       "comm_radius must be 0 or 1");
+      const auto groups = config.comm_radius == 0
+                              ? colocated_groups(agents)
+                              : in_range_groups(agents, world.graph());
+      for (const auto& group : groups) {
+        pooled_edges.clear();
+        std::fill(pooled_visits.begin(), pooled_visits.end(), kNeverVisited);
+        for (std::size_t idx : group) {
+          const MapKnowledge& k = agents[idx].knowledge();
+          pooled_edges.merge(k.combined_edges());
+          const auto visits = k.any_visits();
+          for (std::size_t i = 0; i < n; ++i)
+            pooled_visits[i] = std::max(pooled_visits[i], visits[i]);
+        }
+        for (std::size_t idx : group)
+          agents[idx].learn_union(pooled_edges, pooled_visits);
+      }
+    }
+
+    // Monitor upload: every agent standing on the monitoring entity's node
+    // hands over its full map.
+    if (config.monitor_node) {
+      for (const auto& agent : agents)
+        if (agent.location() == *config.monitor_node)
+          monitor_map.merge(agent.knowledge().combined_edges());
+      result.monitor_completeness =
+          static_cast<double>(monitor_map.count()) /
+          static_cast<double>(result.truth_edges);
+      if (!result.monitor_finished &&
+          monitor_map.count() >= result.truth_edges) {
+        result.monitor_finished = true;
+        result.monitor_finishing_time = t;
+      }
+    }
+
+    // Measurement + finishing check (knowledge is final for this step).
+    double min_fraction = 1.0;
+    double sum_fraction = 0.0;
+    for (const auto& agent : agents) {
+      const double f = knowledge_fraction(agent);
+      min_fraction = std::min(min_fraction, f);
+      sum_fraction += f;
+    }
+    if (config.record_series) {
+      result.mean_knowledge.push_back(sum_fraction /
+                                      static_cast<double>(agents.size()));
+      result.min_knowledge.push_back(min_fraction);
+    }
+    if (min_fraction >= 1.0) {
+      result.finished = true;
+      result.finishing_time = t;
+      return result;
+    }
+
+    // Phase 3+4: decide, stamp, move. Stigmergic agents decide in a fresh
+    // random order each step and see footprints stamped earlier in the same
+    // step — this is what disperses co-located identical-knowledge agents
+    // (see DESIGN.md). Non-stigmergic agents ignore the board entirely, so
+    // the ordering does not affect them.
+    rng.shuffle(std::span<std::size_t>(decide_order));
+    std::vector<NodeId> targets(agents.size());
+    for (std::size_t idx : decide_order) {
+      MappingAgent& agent = agents[idx];
+      const NodeId target = agent.decide(world.graph(), board, t);
+      targets[idx] = target;
+      if (agent.stigmergic() && target != agent.location())
+        board.stamp(agent.location(), target, t);
+    }
+    for (std::size_t idx = 0; idx < agents.size(); ++idx) {
+      if (targets[idx] != agents[idx].location())
+        result.migration_bytes += agents[idx].state_size_bytes();
+      agents[idx].move_to(targets[idx]);
+    }
+
+    if (config.advance_world) world.advance();
+  }
+
+  AGENTNET_INFO() << "mapping task hit max_steps=" << config.max_steps
+                  << " without finishing";
+  return result;
+}
+
+}  // namespace agentnet

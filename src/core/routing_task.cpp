@@ -1,0 +1,399 @@
+#include "core/routing_task.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "common/stats.hpp"
+
+namespace agentnet {
+
+const char* to_string(GatewayPlacement placement) {
+  switch (placement) {
+    case GatewayPlacement::kRandom:
+      return "random";
+    case GatewayPlacement::kSpread:
+      return "spread";
+    case GatewayPlacement::kPerimeter:
+      return "perimeter";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Marks the node nearest each anchor as a gateway (skipping nodes already
+/// chosen), so placement strategies reduce to choosing anchor points.
+std::vector<bool> gateways_near_anchors(const std::vector<Vec2>& positions,
+                                        const std::vector<Vec2>& anchors) {
+  std::vector<bool> mask(positions.size(), false);
+  for (const Vec2& anchor : anchors) {
+    std::size_t best = positions.size();
+    double best_d2 = 0.0;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (mask[i]) continue;
+      const double d2 = distance2(anchor, positions[i]);
+      if (best == positions.size() || d2 < best_d2) {
+        best = i;
+        best_d2 = d2;
+      }
+    }
+    AGENTNET_ASSERT(best < positions.size());
+    mask[best] = true;
+  }
+  return mask;
+}
+
+std::vector<bool> place_gateways(const RoutingScenarioParams& params,
+                                 const std::vector<Vec2>& positions,
+                                 Rng& rng) {
+  const std::size_t n = positions.size();
+  const std::size_t k = params.gateway_count;
+  switch (params.gateway_placement) {
+    case GatewayPlacement::kRandom: {
+      std::vector<bool> mask(n, false);
+      for (std::size_t idx : rng.sample_indices(n, k)) mask[idx] = true;
+      return mask;
+    }
+    case GatewayPlacement::kSpread: {
+      // Anchors at the centres of the first k cells of the tightest grid
+      // that holds them (row-major).
+      const auto cols = static_cast<std::size_t>(
+          std::ceil(std::sqrt(static_cast<double>(k))));
+      const std::size_t rows = (k + cols - 1) / cols;
+      std::vector<Vec2> anchors;
+      for (std::size_t g = 0; g < k; ++g) {
+        const std::size_t cx = g % cols;
+        const std::size_t cy = g / cols;
+        anchors.push_back(
+            {params.bounds.lo.x +
+                 (static_cast<double>(cx) + 0.5) * params.bounds.width() /
+                     static_cast<double>(cols),
+             params.bounds.lo.y +
+                 (static_cast<double>(cy) + 0.5) * params.bounds.height() /
+                     static_cast<double>(rows)});
+      }
+      return gateways_near_anchors(positions, anchors);
+    }
+    case GatewayPlacement::kPerimeter: {
+      // Evenly spaced points along the boundary rectangle.
+      const double perimeter =
+          2.0 * (params.bounds.width() + params.bounds.height());
+      std::vector<Vec2> anchors;
+      for (std::size_t g = 0; g < k; ++g) {
+        double s = perimeter * static_cast<double>(g) /
+                   static_cast<double>(k);
+        Vec2 p = params.bounds.lo;
+        if (s < params.bounds.width()) {
+          p = {params.bounds.lo.x + s, params.bounds.lo.y};
+        } else if ((s -= params.bounds.width()) < params.bounds.height()) {
+          p = {params.bounds.hi.x, params.bounds.lo.y + s};
+        } else if ((s -= params.bounds.height()) < params.bounds.width()) {
+          p = {params.bounds.hi.x - s, params.bounds.hi.y};
+        } else {
+          s -= params.bounds.width();
+          p = {params.bounds.lo.x, params.bounds.hi.y - s};
+        }
+        anchors.push_back(p);
+      }
+      return gateways_near_anchors(positions, anchors);
+    }
+  }
+  AGENTNET_ASSERT_MSG(false, "unknown gateway placement");
+  return {};
+}
+
+}  // namespace
+
+RoutingScenario::RoutingScenario(RoutingScenarioParams params,
+                                 std::uint64_t seed)
+    : params_(params) {
+  AGENTNET_REQUIRE(params.node_count >= 2, "need at least two nodes");
+  AGENTNET_REQUIRE(params.gateway_count >= 1 &&
+                       params.gateway_count < params.node_count,
+                   "gateway count must be in [1, node_count)");
+  AGENTNET_REQUIRE(params.mobile_fraction >= 0.0 &&
+                       params.mobile_fraction <= 1.0,
+                   "mobile fraction must be in [0,1]");
+  const std::size_t n = params.node_count;
+  Rng rng(seed);
+
+  initial_positions_ = random_positions(n, params.bounds, rng);
+
+  // Gateways per the placement strategy; mobile nodes a random subset of
+  // the rest.
+  is_gateway_ = place_gateways(params, initial_positions_, rng);
+  std::vector<std::size_t> ordinary;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!is_gateway_[i]) ordinary.push_back(i);
+  const auto mobile_count = static_cast<std::size_t>(
+      params.mobile_fraction * static_cast<double>(n) + 0.5);
+  AGENTNET_REQUIRE(mobile_count <= ordinary.size(),
+                   "mobile fraction leaves too few stationary slots for "
+                   "gateways");
+  mobile_.assign(n, false);
+  for (std::size_t k : rng.sample_indices(ordinary.size(), mobile_count))
+    mobile_[ordinary[k]] = true;
+
+  base_ranges_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double spread = rng.uniform_real(1.0 - params.range_spread,
+                                           1.0 + params.range_spread);
+    base_ranges_[i] = params.node_range * spread *
+                      (is_gateway_[i] ? params.gateway_range_boost : 1.0);
+  }
+
+  RandomDirectionMobility recorder(params.bounds, mobile_, params.movement,
+                                   rng.fork(0xD0));
+  trace_ = TraceMobility::record(recorder, initial_positions_,
+                                 params.trace_steps);
+  validate();
+}
+
+RoutingScenario::RoutingScenario(RoutingScenarioParams params,
+                                 std::vector<Vec2> initial_positions,
+                                 std::vector<double> base_ranges,
+                                 std::vector<bool> is_gateway,
+                                 std::vector<bool> mobile,
+                                 TraceMobility trace)
+    : params_(params),
+      initial_positions_(std::move(initial_positions)),
+      base_ranges_(std::move(base_ranges)),
+      is_gateway_(std::move(is_gateway)),
+      mobile_(std::move(mobile)),
+      trace_(std::move(trace)) {
+  validate();
+}
+
+void RoutingScenario::validate() const {
+  const std::size_t n = params_.node_count;
+  AGENTNET_REQUIRE(initial_positions_.size() == n &&
+                       base_ranges_.size() == n &&
+                       is_gateway_.size() == n && mobile_.size() == n,
+                   "scenario part sizes must match node_count");
+  std::size_t gateways = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_gateway_[i]) {
+      ++gateways;
+      AGENTNET_REQUIRE(!mobile_[i], "gateways must be stationary");
+    }
+    AGENTNET_REQUIRE(base_ranges_[i] > 0.0, "ranges must be positive");
+  }
+  AGENTNET_REQUIRE(gateways == params_.gateway_count,
+                   "gateway mask does not match gateway_count");
+}
+
+World RoutingScenario::make_world() const {
+  auto playback = std::make_unique<TraceMobility>(trace_);
+  playback->reset();
+  // Mobile nodes run on battery; stationary nodes (gateways included) are
+  // mains powered.
+  BatteryBank batteries(params_.node_count, mobile_, params_.battery);
+  return World(params_.bounds, initial_positions_,
+               RadioModel(base_ranges_, params_.scaling),
+               std::move(batteries), std::move(playback), params_.policy);
+}
+
+namespace {
+
+std::vector<std::vector<std::size_t>> colocated_groups(
+    const std::vector<RoutingAgent>& agents) {
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<std::size_t> order(agents.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return agents[a].location() < agents[b].location();
+  });
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i + 1;
+    while (j < order.size() &&
+           agents[order[j]].location() == agents[order[i]].location())
+      ++j;
+    if (j - i >= 2)
+      groups.emplace_back(order.begin() + i, order.begin() + j);
+    i = j;
+  }
+  return groups;
+}
+
+}  // namespace
+
+RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
+                                   const RoutingTaskConfig& config, Rng rng) {
+  AGENTNET_REQUIRE(config.population >= 1, "population must be >= 1");
+  AGENTNET_REQUIRE(config.measure_from < config.steps,
+                   "measure_from must precede steps");
+  World world = scenario.make_world();
+  const std::size_t n = world.node_count();
+  const auto& is_gateway = scenario.is_gateway();
+
+  RoutingTables tables(n, config.route_policy);
+  StigmergyBoard board(n, config.stigmergy_horizon,
+                       config.stigmergy_capacity);
+
+  const std::vector<RoutingAgentConfig> roster =
+      config.team.empty()
+          ? std::vector<RoutingAgentConfig>(
+                static_cast<std::size_t>(config.population), config.agent)
+          : config.team;
+  std::vector<RoutingAgent> agents;
+  agents.reserve(roster.size());
+  for (std::size_t a = 0; a < roster.size(); ++a) {
+    const NodeId start = static_cast<NodeId>(rng.index(n));
+    agents.emplace_back(static_cast<int>(a), start, roster[a],
+                        rng.fork(static_cast<std::uint64_t>(a) + 1));
+  }
+  const bool any_communicates = [&] {
+    for (const auto& cfg : roster)
+      if (cfg.communicate) return true;
+    return false;
+  }();
+
+  AGENTNET_REQUIRE(config.agent_loss_probability >= 0.0 &&
+                       config.agent_loss_probability <= 1.0,
+                   "agent loss probability must be in [0,1]");
+  AGENTNET_REQUIRE(config.gateway_respawn_probability >= 0.0 &&
+                       config.gateway_respawn_probability <= 1.0,
+                   "respawn probability must be in [0,1]");
+
+  RoutingTaskResult result;
+  result.connectivity.reserve(config.steps);
+  std::vector<std::size_t> decide_order;
+
+  std::optional<TrafficSimulator> traffic;
+  if (config.traffic)
+    traffic.emplace(n, is_gateway, *config.traffic, rng.fork(0x7AFF1C));
+
+  Rng fault_rng = rng.fork(0xFA11);
+  std::vector<NodeId> gateway_nodes;
+  for (NodeId v = 0; v < n; ++v)
+    if (is_gateway[v]) gateway_nodes.push_back(v);
+  // Respawned replacements use the homogeneous template (config.agent);
+  // the population target is the initial team size.
+  const std::size_t target_population = roster.size();
+  int next_agent_id = static_cast<int>(target_population);
+
+  for (std::size_t t = 0; t < config.steps; ++t) {
+    // Phase 0: recovery — gateways (the nodes wired to the outside world)
+    // launch replacement agents while the team is under strength.
+    if (config.gateway_respawn_probability > 0.0) {
+      for (NodeId gw : gateway_nodes) {
+        if (agents.size() >= target_population) break;
+        if (fault_rng.bernoulli(config.gateway_respawn_probability)) {
+          agents.emplace_back(
+              next_agent_id, gw, config.agent,
+              rng.fork(static_cast<std::uint64_t>(next_agent_id) + 1));
+          ++next_agent_id;
+          ++result.agents_respawned;
+        }
+      }
+    }
+
+    // Phase 1: arrival bookkeeping (history + gateway hint refresh).
+    for (auto& agent : agents) agent.arrive(is_gateway, t);
+
+    // Phase 2: decide on the live graph. Paper order: the movement decision
+    // precedes the meeting exchange. Stigmergic agents stamp immediately so
+    // later deciders this step disperse away from them.
+    decide_order.resize(agents.size());
+    std::iota(decide_order.begin(), decide_order.end(), 0);
+    rng.shuffle(std::span<std::size_t>(decide_order));
+    std::vector<NodeId> targets(agents.size());
+    for (std::size_t idx : decide_order) {
+      RoutingAgent& agent = agents[idx];
+      const NodeId target = agent.decide(world.graph(), board, t);
+      targets[idx] = target;
+      if (agent.stigmergic() && target != agent.location())
+        board.stamp(agent.location(), target, t);
+    }
+
+    // Phase 3: meetings — co-located *communicating* agents adopt the
+    // group's best route and merge histories. Pool first (snapshot
+    // semantics), then apply. Non-communicating agents in the group
+    // neither share nor learn.
+    if (any_communicates && agents.size() > 1) {
+      for (const auto& group : colocated_groups(agents)) {
+        std::vector<std::size_t> talkers;
+        for (std::size_t idx : group)
+          if (agents[idx].config().communicate) talkers.push_back(idx);
+        if (talkers.size() < 2) continue;
+        RoutingAgent::RouteHint best;  // invalid
+        for (std::size_t idx : talkers)
+          if (RoutingAgent::hint_better(agents[idx].hint(), best))
+            best = agents[idx].hint();
+        // Pool histories (max last-visit per node) before anyone mutates.
+        std::map<NodeId, std::size_t> pooled;
+        for (std::size_t idx : talkers) {
+          for (const auto& [node, step] : agents[idx].history()) {
+            auto it = pooled.find(node);
+            if (it == pooled.end())
+              pooled.emplace(node, step);
+            else
+              it->second = std::max(it->second, step);
+          }
+        }
+        for (std::size_t idx : talkers) agents[idx].adopt(best, pooled);
+      }
+    }
+
+    // Phase 4: move (the decision's link is still live — the world has not
+    // advanced) and update the routing table of the node now occupied.
+    // With failure injection, a migrating agent can be lost in transit —
+    // it neither arrives nor installs, and its state is gone.
+    std::vector<char> lost(agents.size(), 0);
+    bool any_lost = false;
+    for (std::size_t idx = 0; idx < agents.size(); ++idx) {
+      if (targets[idx] != agents[idx].location()) {
+        if (config.agent_loss_probability > 0.0 &&
+            fault_rng.bernoulli(config.agent_loss_probability)) {
+          lost[idx] = 1;
+          any_lost = true;
+          ++result.agents_lost;
+          continue;
+        }
+        result.migration_bytes += agents[idx].state_size_bytes();
+      }
+      agents[idx].move_to(targets[idx]);
+      agents[idx].install(tables, is_gateway, t);
+    }
+    if (any_lost) {
+      std::size_t write = 0;
+      for (std::size_t idx = 0; idx < agents.size(); ++idx)
+        if (!lost[idx]) {
+          if (write != idx) agents[write] = std::move(agents[idx]);
+          ++write;
+        }
+      agents.erase(agents.begin() + static_cast<std::ptrdiff_t>(write),
+                   agents.end());
+    }
+
+    // Environment advances; connectivity is measured on the new topology,
+    // so freshly installed routes immediately face link churn.
+    world.advance();
+    result.connectivity.push_back(
+        measure_connectivity(world.graph(), tables, is_gateway).fraction());
+    if (config.record_oracle)
+      result.oracle.push_back(
+          oracle_connectivity(world.graph(), is_gateway).fraction());
+    // Traffic flows over the converged window only, so delivery measures
+    // the steady state rather than the cold start.
+    if (traffic && t >= config.measure_from)
+      traffic->step(world.graph(), tables, t);
+  }
+  if (traffic) {
+    traffic->finish();
+    result.traffic_stats = traffic->stats();
+  }
+
+  result.final_population = agents.size();
+  RunningStats window;
+  for (std::size_t t = config.measure_from; t < config.steps; ++t)
+    window.add(result.connectivity[t]);
+  result.mean_connectivity = window.mean();
+  result.stddev_connectivity = window.stddev();
+  return result;
+}
+
+}  // namespace agentnet

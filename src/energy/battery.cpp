@@ -1,0 +1,51 @@
+#include "energy/battery.hpp"
+
+#include <algorithm>
+
+namespace agentnet {
+
+Battery::Battery(BatteryParams params) : params_(params) {
+  AGENTNET_REQUIRE(params.capacity > 0.0, "battery capacity must be > 0");
+  AGENTNET_REQUIRE(params.drain_per_step >= 0.0,
+                   "battery drain must be >= 0");
+  charge_ = params.capacity;
+}
+
+void Battery::step() {
+  charge_ = std::max(0.0, charge_ - params_.drain_per_step);
+}
+
+BatteryBank::BatteryBank(std::size_t node_count,
+                         const std::vector<bool>& on_battery,
+                         BatteryParams battery_params)
+    : on_battery_(on_battery) {
+  AGENTNET_REQUIRE(on_battery.size() == node_count,
+                   "battery mask size must equal node count");
+  batteries_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    BatteryParams p = battery_params;
+    if (!on_battery_[i]) p.drain_per_step = 0.0;
+    batteries_.emplace_back(p);
+  }
+}
+
+void BatteryBank::step() {
+  for (auto& b : batteries_) b.step();
+}
+
+bool BatteryBank::on_battery(std::size_t node) const {
+  AGENTNET_ASSERT(node < on_battery_.size());
+  return on_battery_[node];
+}
+
+double BatteryBank::fraction(std::size_t node) const {
+  AGENTNET_ASSERT(node < batteries_.size());
+  return on_battery_[node] ? batteries_[node].fraction() : 1.0;
+}
+
+const Battery& BatteryBank::battery(std::size_t node) const {
+  AGENTNET_ASSERT(node < batteries_.size());
+  return batteries_[node];
+}
+
+}  // namespace agentnet

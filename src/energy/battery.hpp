@@ -1,0 +1,61 @@
+// Battery model. The paper's dynamic-routing network assumes mobile nodes
+// "run on battery power ... their radio range decrease[s] as time goes by";
+// the mapping network assumes "degradation on a percentage of radio links
+// due to rely[ing] on battery power". Both are driven by this model plus
+// the range scaling in radio/range_model.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+/// Parameters for one battery. A mains-powered node uses drain_per_step=0.
+struct BatteryParams {
+  double capacity = 1.0;        ///< Initial charge (arbitrary units, > 0).
+  double drain_per_step = 0.0;  ///< Charge consumed per simulation step.
+};
+
+/// One node's battery; charge never drops below zero.
+class Battery {
+ public:
+  Battery() = default;
+  explicit Battery(BatteryParams params);
+
+  /// Advances one simulation step.
+  void step();
+
+  double charge() const { return charge_; }
+  /// Remaining fraction of the initial capacity, in [0, 1].
+  double fraction() const { return charge_ / params_.capacity; }
+  bool depleted() const { return charge_ <= 0.0; }
+  const BatteryParams& params() const { return params_; }
+
+ private:
+  BatteryParams params_{};
+  double charge_ = 1.0;
+};
+
+/// Batteries for a whole network: a boolean mask selects which nodes are
+/// battery-powered (drain > 0); the rest are mains-powered and never decay.
+class BatteryBank {
+ public:
+  BatteryBank(std::size_t node_count, const std::vector<bool>& on_battery,
+              BatteryParams battery_params);
+
+  void step();
+
+  std::size_t size() const { return batteries_.size(); }
+  bool on_battery(std::size_t node) const;
+  /// Remaining fraction for `node`; mains-powered nodes report 1.0 forever.
+  double fraction(std::size_t node) const;
+  const Battery& battery(std::size_t node) const;
+
+ private:
+  std::vector<Battery> batteries_;
+  std::vector<bool> on_battery_;
+};
+
+}  // namespace agentnet

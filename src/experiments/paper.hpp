@@ -1,0 +1,27 @@
+// Canonical constants for the paper reproduction. Every bench binary and
+// example uses these so "the network" means the same artefact everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace agentnet::paper {
+
+/// Scenario seed for the 300-node / ≈2164-edge mapping network (the
+/// authors' concrete graph is unpublished; this seed pins ours).
+inline constexpr std::uint64_t kMappingNetworkSeed = 2010;
+
+/// Scenario seed for the 250-node / 12-gateway routing world (placement,
+/// masks and the full movement script derive from it).
+inline constexpr std::uint64_t kRoutingScenarioSeed = 2010;
+
+/// Base for per-run agent seeds: run r uses kRunSeedBase + r.
+inline constexpr std::uint64_t kRunSeedBase = 1000;
+
+/// The paper's averaging protocol: 40 independent runs per setting.
+inline constexpr int kPaperRuns = 40;
+
+/// Routing measurement protocol: 300 steps, converged window from 150.
+inline constexpr std::size_t kRoutingSteps = 300;
+inline constexpr std::size_t kRoutingMeasureFrom = 150;
+
+}  // namespace agentnet::paper

@@ -1,0 +1,25 @@
+#include "experiments/routing_experiments.hpp"
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+RoutingSummary run_routing_experiment(const RoutingScenario& scenario,
+                                      const RoutingTaskConfig& task,
+                                      int runs,
+                                      std::uint64_t run_seed_base) {
+  AGENTNET_REQUIRE(runs >= 1, "need at least one run");
+  RoutingSummary summary;
+  summary.runs = runs;
+  for (int r = 0; r < runs; ++r) {
+    RoutingTaskResult result = run_routing_task(
+        scenario, task, Rng(run_seed_base + static_cast<std::uint64_t>(r)));
+    summary.mean_connectivity.add(result.mean_connectivity);
+    summary.window_stddev.add(result.stddev_connectivity);
+    summary.connectivity.add(result.connectivity);
+    if (!result.oracle.empty()) summary.oracle.add(result.oracle);
+  }
+  return summary;
+}
+
+}  // namespace agentnet

@@ -1,0 +1,31 @@
+// Multi-run harness for dynamic-routing experiments: one scenario (same
+// placement + movement script), `runs` independent agent placements,
+// aggregated connectivity traces and converged-window means (the paper's
+// Figs. 7–11 protocol).
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "core/routing_task.hpp"
+
+namespace agentnet {
+
+struct RoutingSummary {
+  int runs = 0;
+  /// Mean connectivity over the converged window, one sample per run.
+  RunningStats mean_connectivity;
+  /// Per-run stddev of connectivity inside the window (stability measure).
+  RunningStats window_stddev;
+  /// Per-step connectivity aggregated across runs.
+  SeriesAccumulator connectivity;
+  /// Per-step oracle upper bound (filled when the task records it; the
+  /// oracle depends only on the movement script, so runs are identical).
+  SeriesAccumulator oracle;
+};
+
+RoutingSummary run_routing_experiment(const RoutingScenario& scenario,
+                                      const RoutingTaskConfig& task,
+                                      int runs, std::uint64_t run_seed_base);
+
+}  // namespace agentnet

@@ -1,0 +1,102 @@
+#include "flooding/link_state.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+LinkStateFlooding::LinkStateFlooding(std::size_t node_count,
+                                     LinkStateConfig config)
+    : config_(config),
+      databases_(node_count),
+      own_sequence_(node_count, 0),
+      last_origination_(node_count, 0) {
+  AGENTNET_REQUIRE(config.refresh_period >= 1,
+                   "refresh period must be >= 1");
+}
+
+void LinkStateFlooding::step(const Graph& graph, std::size_t now) {
+  AGENTNET_REQUIRE(graph.node_count() == databases_.size(),
+                   "graph size does not match flooding state");
+  const std::size_t n = databases_.size();
+
+  // Phase 1: deliver last step's transmissions and collect the news each
+  // node will re-flood this step.
+  std::vector<std::vector<Lsa>> fresh_news(n);
+  for (auto& [dest, lsa] : in_flight_) {
+    auto& db = databases_[dest];
+    auto it = db.find(lsa.origin);
+    if (it != db.end() && it->second.sequence >= lsa.sequence)
+      continue;  // already have this or newer: flood stops here
+    db[lsa.origin] = lsa;
+    fresh_news[dest].push_back(std::move(lsa));
+  }
+  in_flight_.clear();
+
+  // Phase 2: origination — each node senses its own out-edges and issues a
+  // new LSA when they changed or its refresh timer expired.
+  for (NodeId v = 0; v < n; ++v) {
+    const auto neighbors = graph.out_neighbors(v);
+    const auto& db = databases_[v];
+    const auto self = db.find(v);
+    const bool changed =
+        self == db.end() ||
+        !std::equal(self->second.neighbors.begin(),
+                    self->second.neighbors.end(), neighbors.begin(),
+                    neighbors.end());
+    const bool expired =
+        now >= last_origination_[v] + config_.refresh_period;
+    if (changed || expired || own_sequence_[v] == 0) {
+      Lsa lsa;
+      lsa.origin = v;
+      lsa.sequence = ++own_sequence_[v];
+      lsa.neighbors.assign(neighbors.begin(), neighbors.end());
+      databases_[v][v] = lsa;
+      fresh_news[v].push_back(std::move(lsa));
+      last_origination_[v] = now;
+    }
+  }
+
+  // Phase 3: flooding — every piece of news a node learned or originated
+  // this step goes out on all of its current links.
+  for (NodeId v = 0; v < n; ++v) {
+    if (fresh_news[v].empty()) continue;
+    const auto neighbors = graph.out_neighbors(v);
+    for (const Lsa& lsa : fresh_news[v]) {
+      for (NodeId w : neighbors) {
+        in_flight_.push_back({w, lsa});
+        ++messages_;
+        bytes_ += lsa_bytes(lsa);
+      }
+    }
+  }
+}
+
+double LinkStateFlooding::database_completeness(NodeId node,
+                                                const Graph& truth) const {
+  AGENTNET_ASSERT(node < databases_.size());
+  if (truth.edge_count() == 0) return 1.0;
+  std::size_t known = 0;
+  for (const auto& [origin, lsa] : databases_[node]) {
+    for (NodeId nbr : lsa.neighbors)
+      if (truth.has_edge(origin, nbr)) ++known;
+  }
+  return static_cast<double>(known) /
+         static_cast<double>(truth.edge_count());
+}
+
+double LinkStateFlooding::mean_completeness(const Graph& truth) const {
+  double sum = 0.0;
+  for (NodeId v = 0; v < databases_.size(); ++v)
+    sum += database_completeness(v, truth);
+  return sum / static_cast<double>(databases_.size());
+}
+
+bool LinkStateFlooding::converged(const Graph& truth) const {
+  for (NodeId v = 0; v < databases_.size(); ++v)
+    if (database_completeness(v, truth) < 1.0) return false;
+  return true;
+}
+
+}  // namespace agentnet

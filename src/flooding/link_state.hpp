@@ -1,0 +1,77 @@
+// Link-state flooding baseline for network mapping.
+//
+// The paper's intro contrasts mobile agents with "current systems [where]
+// routing maps are usually generated in a centralized ... manner". The
+// conventional decentralised mechanism is link-state flooding: every node
+// runs a protocol, periodically originates a link-state advertisement (LSA)
+// describing its own out-edges, and re-floods every newer LSA it hears.
+// This module implements that — so bench extG can quantify exactly what
+// the mobile-agent architecture trades away (convergence speed, message
+// cost) for its "nodes run no programs" property.
+//
+// Timing model matches the agent tasks: one hop per step. An LSA sent on a
+// link this step is processed by the receiver next step.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace agentnet {
+
+struct LinkStateConfig {
+  /// A node re-originates its LSA every `refresh_period` steps even if its
+  /// adjacency did not change (routers do this to age out stale state).
+  std::size_t refresh_period = 30;
+  /// LSA header bytes (origin, sequence, checksum…).
+  std::size_t lsa_header_bytes = 24;
+  /// Bytes per advertised neighbour entry.
+  std::size_t lsa_entry_bytes = 8;
+};
+
+class LinkStateFlooding {
+ public:
+  LinkStateFlooding(std::size_t node_count, LinkStateConfig config);
+
+  /// One protocol step on the current topology: sense own adjacency,
+  /// originate if changed/expired, deliver last step's transmissions,
+  /// re-flood news.
+  void step(const Graph& graph, std::size_t now);
+
+  /// Fraction of the current truth edge set present in `node`'s database.
+  double database_completeness(NodeId node, const Graph& truth) const;
+  /// Mean completeness over all nodes.
+  double mean_completeness(const Graph& truth) const;
+  /// First step at which every node's database covered the full (static)
+  /// truth; use converged() after stepping.
+  bool converged(const Graph& truth) const;
+
+  std::size_t messages_sent() const { return messages_; }
+  std::size_t bytes_sent() const { return bytes_; }
+
+ private:
+  struct Lsa {
+    NodeId origin = kInvalidNode;
+    std::uint64_t sequence = 0;
+    std::vector<NodeId> neighbors;
+  };
+
+  std::size_t lsa_bytes(const Lsa& lsa) const {
+    return config_.lsa_header_bytes +
+           config_.lsa_entry_bytes * lsa.neighbors.size();
+  }
+
+  LinkStateConfig config_;
+  /// databases_[v][origin] = freshest LSA v has heard from origin.
+  std::vector<std::map<NodeId, Lsa>> databases_;
+  std::vector<std::uint64_t> own_sequence_;
+  std::vector<std::size_t> last_origination_;
+  /// Transmissions in flight: (destination, LSA), delivered next step.
+  std::vector<std::pair<NodeId, Lsa>> in_flight_;
+  std::size_t messages_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace agentnet

@@ -1,0 +1,80 @@
+#include "geom/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+SpatialGrid::SpatialGrid(Aabb bounds, double cell_size)
+    : bounds_(bounds), cell_size_(cell_size) {
+  AGENTNET_REQUIRE(cell_size > 0.0, "spatial grid cell size must be > 0");
+  AGENTNET_REQUIRE(bounds.width() > 0.0 && bounds.height() > 0.0,
+                   "spatial grid bounds must have positive area");
+  cols_ = std::max(1, static_cast<int>(std::ceil(bounds.width() / cell_size)));
+  rows_ =
+      std::max(1, static_cast<int>(std::ceil(bounds.height() / cell_size)));
+  cell_start_.assign(static_cast<std::size_t>(cols_) * rows_ + 1, 0);
+}
+
+void SpatialGrid::cell_coords(Vec2 p, int& cx, int& cy) const {
+  const Vec2 q = bounds_.clamp(p);
+  cx = std::min(cols_ - 1,
+                static_cast<int>((q.x - bounds_.lo.x) / cell_size_));
+  cy = std::min(rows_ - 1,
+                static_cast<int>((q.y - bounds_.lo.y) / cell_size_));
+}
+
+std::size_t SpatialGrid::cell_index(int cx, int cy) const {
+  return static_cast<std::size_t>(cy) * cols_ + cx;
+}
+
+void SpatialGrid::rebuild(const std::vector<Vec2>& positions) {
+  positions_ = positions;
+  const std::size_t cells = static_cast<std::size_t>(cols_) * rows_;
+  std::vector<std::uint32_t> counts(cells, 0);
+  std::vector<std::uint32_t> home(positions_.size());
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    int cx, cy;
+    cell_coords(positions_[i], cx, cy);
+    home[i] = static_cast<std::uint32_t>(cell_index(cx, cy));
+    ++counts[home[i]];
+  }
+  cell_start_.assign(cells + 1, 0);
+  for (std::size_t c = 0; c < cells; ++c)
+    cell_start_[c + 1] = cell_start_[c] + counts[c];
+  cell_items_.assign(positions_.size(), 0);
+  std::vector<std::uint32_t> cursor(cell_start_.begin(),
+                                    cell_start_.end() - 1);
+  for (std::size_t i = 0; i < positions_.size(); ++i)
+    cell_items_[cursor[home[i]]++] = static_cast<std::uint32_t>(i);
+}
+
+void SpatialGrid::for_each_within(
+    Vec2 point, double radius,
+    const std::function<void(std::size_t)>& fn) const {
+  if (positions_.empty() || radius < 0.0) return;
+  int cx0, cy0, cx1, cy1;
+  cell_coords({point.x - radius, point.y - radius}, cx0, cy0);
+  cell_coords({point.x + radius, point.y + radius}, cx1, cy1);
+  const double r2 = radius * radius;
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      const std::size_t c = cell_index(cx, cy);
+      for (std::uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+        const std::size_t j = cell_items_[k];
+        if (distance2(point, positions_[j]) <= r2) fn(j);
+      }
+    }
+  }
+}
+
+std::vector<std::size_t> SpatialGrid::query(Vec2 point, double radius) const {
+  std::vector<std::size_t> out;
+  for_each_within(point, radius, [&](std::size_t j) { out.push_back(j); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace agentnet

@@ -1,0 +1,50 @@
+// Uniform spatial hash grid over the arena; turns the O(n^2) "who is within
+// radio range" scan into a neighbourhood query of nearby cells. Rebuilt each
+// step by the topology builder (node counts are small, rebuild is cheap and
+// keeps the structure trivially correct under mobility).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace agentnet {
+
+class SpatialGrid {
+ public:
+  /// `cell_size` should be >= the largest query radius for single-ring
+  /// lookups; larger radii still work (more cells are visited).
+  SpatialGrid(Aabb bounds, double cell_size);
+
+  /// Replaces the contents with `positions`; index i keeps identity i.
+  void rebuild(const std::vector<Vec2>& positions);
+
+  std::size_t size() const { return positions_.size(); }
+  Aabb bounds() const { return bounds_; }
+  double cell_size() const { return cell_size_; }
+
+  /// Calls `fn(j)` for every point j (including i itself if present) with
+  /// distance(point, positions[j]) <= radius.
+  void for_each_within(Vec2 point, double radius,
+                       const std::function<void(std::size_t)>& fn) const;
+
+  /// Convenience: indices within radius of `point`, ascending order.
+  std::vector<std::size_t> query(Vec2 point, double radius) const;
+
+ private:
+  std::size_t cell_index(int cx, int cy) const;
+  void cell_coords(Vec2 p, int& cx, int& cy) const;
+
+  Aabb bounds_;
+  double cell_size_;
+  int cols_ = 0;
+  int rows_ = 0;
+  std::vector<Vec2> positions_;
+  // CSR layout: cell_start_[c]..cell_start_[c+1] indexes into cell_items_.
+  std::vector<std::uint32_t> cell_start_;
+  std::vector<std::uint32_t> cell_items_;
+};
+
+}  // namespace agentnet

@@ -1,0 +1,70 @@
+// 2-D vector math for node positions and movement.
+#pragma once
+
+#include <cmath>
+
+namespace agentnet {
+
+/// Plain 2-D vector; value type, no invariants.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  constexpr double norm2() const { return x * x + y * y; }
+  double norm() const { return std::sqrt(norm2()); }
+
+  /// Unit vector in the same direction; the zero vector maps to itself.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+constexpr double distance2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
+
+/// Axis-aligned rectangle [lo, hi]; the simulation arena.
+struct Aabb {
+  Vec2 lo;
+  Vec2 hi;
+
+  constexpr double width() const { return hi.x - lo.x; }
+  constexpr double height() const { return hi.y - lo.y; }
+  constexpr bool contains(Vec2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  /// Clamps p into the box.
+  constexpr Vec2 clamp(Vec2 p) const {
+    return {p.x < lo.x ? lo.x : (p.x > hi.x ? hi.x : p.x),
+            p.y < lo.y ? lo.y : (p.y > hi.y ? hi.y : p.y)};
+  }
+};
+
+}  // namespace agentnet

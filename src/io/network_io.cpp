@@ -1,0 +1,217 @@
+// File format (line oriented, '#' comments allowed between sections):
+//
+//   agentnet-network 1
+//   bounds <lo.x> <lo.y> <hi.x> <hi.y>
+//   policy <directed|symmetric-and|symmetric-or>
+//   nodes <N>
+//   <x> <y> <base_range>            (N lines, node id = line index)
+//   edges <M>
+//   <from> <to>                     (M lines)
+#include "io/network_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+namespace {
+
+const char* policy_name(LinkPolicy policy) {
+  switch (policy) {
+    case LinkPolicy::kDirected:
+      return "directed";
+    case LinkPolicy::kSymmetricAnd:
+      return "symmetric-and";
+    case LinkPolicy::kSymmetricOr:
+      return "symmetric-or";
+  }
+  return "?";
+}
+
+LinkPolicy parse_policy(const std::string& name) {
+  if (name == "directed") return LinkPolicy::kDirected;
+  if (name == "symmetric-and") return LinkPolicy::kSymmetricAnd;
+  if (name == "symmetric-or") return LinkPolicy::kSymmetricOr;
+  throw ConfigError("unknown link policy in network file: " + name);
+}
+
+/// Next non-comment, non-blank line; throws at EOF.
+std::string next_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return line;
+  }
+  throw ConfigError("unexpected end of network file");
+}
+
+}  // namespace
+
+void save_network(const GeneratedNetwork& net, std::ostream& os) {
+  os << "agentnet-network 1\n";
+  os << std::setprecision(17);
+  os << "bounds " << net.bounds.lo.x << ' ' << net.bounds.lo.y << ' '
+     << net.bounds.hi.x << ' ' << net.bounds.hi.y << '\n';
+  os << "policy " << policy_name(net.policy) << '\n';
+  os << "nodes " << net.positions.size() << '\n';
+  for (std::size_t i = 0; i < net.positions.size(); ++i)
+    os << net.positions[i].x << ' ' << net.positions[i].y << ' '
+       << net.base_ranges[i] << '\n';
+  const auto edges = net.graph.edges();
+  os << "edges " << edges.size() << '\n';
+  for (const Edge& e : edges) os << e.from << ' ' << e.to << '\n';
+  AGENTNET_REQUIRE(os.good(), "write failed while saving network");
+}
+
+GeneratedNetwork load_network(std::istream& is) {
+  GeneratedNetwork net;
+  {
+    std::istringstream header(next_line(is));
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    AGENTNET_REQUIRE(magic == "agentnet-network" && version == 1,
+                     "not an agentnet-network v1 file");
+  }
+  {
+    std::istringstream line(next_line(is));
+    std::string tag;
+    line >> tag >> net.bounds.lo.x >> net.bounds.lo.y >> net.bounds.hi.x >>
+        net.bounds.hi.y;
+    AGENTNET_REQUIRE(tag == "bounds" && !line.fail(), "bad bounds line");
+    AGENTNET_REQUIRE(net.bounds.width() > 0 && net.bounds.height() > 0,
+                     "bounds must have positive area");
+  }
+  {
+    std::istringstream line(next_line(is));
+    std::string tag, name;
+    line >> tag >> name;
+    AGENTNET_REQUIRE(tag == "policy" && !line.fail(), "bad policy line");
+    net.policy = parse_policy(name);
+  }
+  std::size_t node_count = 0;
+  {
+    std::istringstream line(next_line(is));
+    std::string tag;
+    line >> tag >> node_count;
+    AGENTNET_REQUIRE(tag == "nodes" && !line.fail() && node_count > 0,
+                     "bad nodes line");
+  }
+  net.positions.resize(node_count);
+  net.base_ranges.resize(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    std::istringstream line(next_line(is));
+    line >> net.positions[i].x >> net.positions[i].y >> net.base_ranges[i];
+    AGENTNET_REQUIRE(!line.fail(), "bad node line");
+    AGENTNET_REQUIRE(net.base_ranges[i] > 0.0,
+                     "node range must be positive");
+  }
+  std::size_t edge_count = 0;
+  {
+    std::istringstream line(next_line(is));
+    std::string tag;
+    line >> tag >> edge_count;
+    AGENTNET_REQUIRE(tag == "edges" && !line.fail(), "bad edges line");
+  }
+  net.graph = Graph(node_count);
+  for (std::size_t i = 0; i < edge_count; ++i) {
+    std::istringstream line(next_line(is));
+    NodeId u = kInvalidNode, v = kInvalidNode;
+    line >> u >> v;
+    AGENTNET_REQUIRE(!line.fail() && u < node_count && v < node_count,
+                     "bad edge line");
+    AGENTNET_REQUIRE(net.graph.add_edge(u, v),
+                     "duplicate or self-loop edge in network file");
+  }
+  return net;
+}
+
+void save_network_file(const GeneratedNetwork& net, const std::string& path) {
+  std::ofstream os(path);
+  AGENTNET_REQUIRE(os.is_open(), "cannot open for writing: " + path);
+  save_network(net, os);
+}
+
+GeneratedNetwork load_network_file(const std::string& path) {
+  std::ifstream is(path);
+  AGENTNET_REQUIRE(is.is_open(), "cannot open for reading: " + path);
+  return load_network(is);
+}
+
+std::string to_dot(const GeneratedNetwork& net, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph agentnet {\n";
+  os << "  node [shape=circle, width=0.2, fixedsize=true, fontsize=8];\n";
+  std::vector<bool> highlighted(net.positions.size(), false);
+  for (NodeId h : options.highlights) {
+    AGENTNET_REQUIRE(h < net.positions.size(), "highlight id out of range");
+    highlighted[h] = true;
+  }
+  for (std::size_t i = 0; i < net.positions.size(); ++i) {
+    os << "  n" << i << " [pos=\""
+       << net.positions[i].x * options.position_scale << ','
+       << net.positions[i].y * options.position_scale << "!\"";
+    if (highlighted[i])
+      os << ", style=filled, fillcolor=gold, penwidth=2";
+    os << "];\n";
+  }
+  for (const Edge& e : net.graph.edges()) {
+    if (options.collapse_mutual && net.graph.has_edge(e.to, e.from)) {
+      if (e.from > e.to) continue;  // emit each mutual pair once
+      os << "  n" << e.from << " -> n" << e.to << " [dir=none];\n";
+    } else {
+      os << "  n" << e.from << " -> n" << e.to << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void write_series_csv(std::ostream& os,
+                      const std::vector<std::string>& names,
+                      const std::vector<std::vector<double>>& series) {
+  AGENTNET_REQUIRE(names.size() == series.size(),
+                   "one name per series required");
+  os << "step";
+  for (const auto& name : names) os << ',' << name;
+  os << '\n';
+  std::size_t rows = 0;
+  for (const auto& s : series) rows = std::max(rows, s.size());
+  os << std::setprecision(12);
+  for (std::size_t t = 0; t < rows; ++t) {
+    os << t;
+    for (const auto& s : series) {
+      os << ',';
+      if (t < s.size()) os << s[t];
+    }
+    os << '\n';
+  }
+}
+
+void RunRecorder::frame(std::size_t step,
+                        const std::vector<Vec2>& node_positions,
+                        const std::vector<NodeId>& agent_locations) {
+  for (std::size_t i = 0; i < node_positions.size(); ++i)
+    rows_.push_back({step, 'n', i, node_positions[i]});
+  for (std::size_t a = 0; a < agent_locations.size(); ++a) {
+    AGENTNET_REQUIRE(agent_locations[a] < node_positions.size(),
+                     "agent location out of range");
+    rows_.push_back({step, 'a', a, node_positions[agent_locations[a]]});
+  }
+  ++frames_;
+}
+
+void RunRecorder::write_csv(std::ostream& os) const {
+  os << "step,kind,id,x,y\n";
+  os << std::setprecision(12);
+  for (const Row& row : rows_)
+    os << row.step << ',' << (row.kind == 'n' ? "node" : "agent") << ','
+       << row.id << ',' << row.position.x << ',' << row.position.y << '\n';
+}
+
+}  // namespace agentnet

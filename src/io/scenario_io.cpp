@@ -1,0 +1,227 @@
+// Format (line oriented, '#' comments allowed between sections):
+//
+//   agentnet-scenario 1
+//   params <node_count> <gateway_count> <placement> <mobile_fraction>
+//   bounds <lo.x> <lo.y> <hi.x> <hi.y>
+//   radio <node_range> <range_spread> <gateway_boost> <min_scale>
+//   battery <capacity> <drain>
+//   movement <min_speed> <max_speed> <turn_probability>
+//   policy <directed|symmetric-and|symmetric-or>
+//   nodes <N>
+//   <x> <y> <range> <g|-> <m|->        (N lines: gateway/mobile flags)
+//   frames <F>
+//   <x y> * N                           (F lines, one frame per line)
+#include "io/scenario_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+namespace {
+
+const char* policy_token(LinkPolicy policy) {
+  switch (policy) {
+    case LinkPolicy::kDirected:
+      return "directed";
+    case LinkPolicy::kSymmetricAnd:
+      return "symmetric-and";
+    case LinkPolicy::kSymmetricOr:
+      return "symmetric-or";
+  }
+  return "?";
+}
+
+LinkPolicy parse_policy_token(const std::string& name) {
+  if (name == "directed") return LinkPolicy::kDirected;
+  if (name == "symmetric-and") return LinkPolicy::kSymmetricAnd;
+  if (name == "symmetric-or") return LinkPolicy::kSymmetricOr;
+  throw ConfigError("unknown link policy in scenario file: " + name);
+}
+
+GatewayPlacement parse_placement_token(const std::string& name) {
+  if (name == "random") return GatewayPlacement::kRandom;
+  if (name == "spread") return GatewayPlacement::kSpread;
+  if (name == "perimeter") return GatewayPlacement::kPerimeter;
+  throw ConfigError("unknown gateway placement in scenario file: " + name);
+}
+
+std::string next_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return line;
+  }
+  throw ConfigError("unexpected end of scenario file");
+}
+
+std::istringstream tagged(std::istream& is, const char* tag) {
+  std::istringstream line(next_line(is));
+  std::string seen;
+  line >> seen;
+  AGENTNET_REQUIRE(seen == tag, std::string("expected section '") + tag +
+                                    "', got '" + seen + "'");
+  return line;
+}
+
+}  // namespace
+
+void save_scenario(const RoutingScenario& scenario, std::ostream& os) {
+  const auto& p = scenario.params();
+  os << "agentnet-scenario 1\n" << std::setprecision(17);
+  os << "params " << p.node_count << ' ' << p.gateway_count << ' '
+     << to_string(p.gateway_placement) << ' ' << p.mobile_fraction << '\n';
+  os << "bounds " << p.bounds.lo.x << ' ' << p.bounds.lo.y << ' '
+     << p.bounds.hi.x << ' ' << p.bounds.hi.y << '\n';
+  os << "radio " << p.node_range << ' ' << p.range_spread << ' '
+     << p.gateway_range_boost << ' ' << p.scaling.min_scale << '\n';
+  os << "battery " << p.battery.capacity << ' ' << p.battery.drain_per_step
+     << '\n';
+  os << "movement " << p.movement.min_speed << ' ' << p.movement.max_speed
+     << ' ' << p.movement.turn_probability << '\n';
+  os << "policy " << policy_token(p.policy) << '\n';
+  os << "nodes " << p.node_count << '\n';
+  for (std::size_t i = 0; i < p.node_count; ++i) {
+    os << scenario.initial_positions()[i].x << ' '
+       << scenario.initial_positions()[i].y << ' '
+       << scenario.base_ranges()[i] << ' '
+       << (scenario.is_gateway()[i] ? 'g' : '-') << ' '
+       << (scenario.mobile()[i] ? 'm' : '-') << '\n';
+  }
+  const TraceMobility& trace = scenario.trace();
+  os << "frames " << trace.frames() << '\n';
+  for (std::size_t f = 0; f < trace.frames(); ++f) {
+    const auto& frame = trace.frame(f);
+    for (std::size_t i = 0; i < frame.size(); ++i)
+      os << frame[i].x << ' ' << frame[i].y
+         << (i + 1 == frame.size() ? '\n' : ' ');
+  }
+  AGENTNET_REQUIRE(os.good(), "write failed while saving scenario");
+}
+
+RoutingScenario load_scenario(std::istream& is) {
+  {
+    std::istringstream header(next_line(is));
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    AGENTNET_REQUIRE(magic == "agentnet-scenario" && version == 1,
+                     "not an agentnet-scenario v1 file");
+  }
+  RoutingScenarioParams p;
+  {
+    auto line = tagged(is, "params");
+    std::string placement;
+    line >> p.node_count >> p.gateway_count >> placement >>
+        p.mobile_fraction;
+    AGENTNET_REQUIRE(!line.fail(), "bad params line");
+    p.gateway_placement = parse_placement_token(placement);
+  }
+  {
+    auto line = tagged(is, "bounds");
+    line >> p.bounds.lo.x >> p.bounds.lo.y >> p.bounds.hi.x >> p.bounds.hi.y;
+    AGENTNET_REQUIRE(!line.fail(), "bad bounds line");
+  }
+  {
+    auto line = tagged(is, "radio");
+    line >> p.node_range >> p.range_spread >> p.gateway_range_boost >>
+        p.scaling.min_scale;
+    AGENTNET_REQUIRE(!line.fail(), "bad radio line");
+  }
+  {
+    auto line = tagged(is, "battery");
+    line >> p.battery.capacity >> p.battery.drain_per_step;
+    AGENTNET_REQUIRE(!line.fail(), "bad battery line");
+  }
+  {
+    auto line = tagged(is, "movement");
+    line >> p.movement.min_speed >> p.movement.max_speed >>
+        p.movement.turn_probability;
+    AGENTNET_REQUIRE(!line.fail(), "bad movement line");
+  }
+  {
+    auto line = tagged(is, "policy");
+    std::string token;
+    line >> token;
+    AGENTNET_REQUIRE(!line.fail(), "bad policy line");
+    p.policy = parse_policy_token(token);
+  }
+  std::size_t node_count = 0;
+  {
+    auto line = tagged(is, "nodes");
+    line >> node_count;
+    AGENTNET_REQUIRE(!line.fail() && node_count == p.node_count,
+                     "nodes section disagrees with params");
+  }
+  std::vector<Vec2> positions(node_count);
+  std::vector<double> ranges(node_count);
+  std::vector<bool> is_gateway(node_count), mobile(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    std::istringstream line(next_line(is));
+    char g = 0, m = 0;
+    line >> positions[i].x >> positions[i].y >> ranges[i] >> g >> m;
+    AGENTNET_REQUIRE(!line.fail() && (g == 'g' || g == '-') &&
+                         (m == 'm' || m == '-'),
+                     "bad node line");
+    is_gateway[i] = g == 'g';
+    mobile[i] = m == 'm';
+  }
+  std::size_t frame_count = 0;
+  {
+    auto line = tagged(is, "frames");
+    line >> frame_count;
+    AGENTNET_REQUIRE(!line.fail(), "bad frames line");
+  }
+  p.trace_steps = frame_count;
+  // Re-record the trace by replaying the stored frames through a scripted
+  // model, so the loaded scenario replays identically.
+  class FrameScript final : public MobilityModel {
+   public:
+    std::vector<std::vector<Vec2>> frames;
+    std::vector<bool> stationary;
+    std::size_t cursor = 0;
+    void step(std::vector<Vec2>& positions) override {
+      if (cursor < frames.size()) positions = frames[cursor++];
+    }
+    bool is_stationary(std::size_t node) const override {
+      return stationary[node];
+    }
+  };
+  FrameScript script;
+  script.stationary.resize(node_count);
+  for (std::size_t i = 0; i < node_count; ++i)
+    script.stationary[i] = !mobile[i];
+  script.frames.reserve(frame_count);
+  for (std::size_t f = 0; f < frame_count; ++f) {
+    std::istringstream line(next_line(is));
+    std::vector<Vec2> frame(node_count);
+    for (std::size_t i = 0; i < node_count; ++i)
+      line >> frame[i].x >> frame[i].y;
+    AGENTNET_REQUIRE(!line.fail(), "bad frame line");
+    script.frames.push_back(std::move(frame));
+  }
+  TraceMobility trace = TraceMobility::record(script, positions, frame_count);
+  return RoutingScenario(p, std::move(positions), std::move(ranges),
+                         std::move(is_gateway), std::move(mobile),
+                         std::move(trace));
+}
+
+void save_scenario_file(const RoutingScenario& scenario,
+                        const std::string& path) {
+  std::ofstream os(path);
+  AGENTNET_REQUIRE(os.is_open(), "cannot open for writing: " + path);
+  save_scenario(scenario, os);
+}
+
+RoutingScenario load_scenario_file(const std::string& path) {
+  std::ifstream is(path);
+  AGENTNET_REQUIRE(is.is_open(), "cannot open for reading: " + path);
+  return load_scenario(is);
+}
+
+}  // namespace agentnet

@@ -1,0 +1,166 @@
+// Node mobility models.
+//
+// The dynamic-routing scenario fixes roughly half the nodes (gateways are
+// always stationary) and moves the rest with *random* per-node velocities
+// (the paper's change vs. Kramer et al.'s constant velocity). The paper
+// also runs every parameter setting against "the same configuration and
+// movement path of nodes" — TraceMobility records one model's output once
+// and replays it identically across settings.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geom/vec2.hpp"
+
+namespace agentnet {
+
+/// Advances node positions one simulation step at a time. Models own all
+/// per-node kinematic state; positions are the shared truth they mutate.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Moves nodes one step. `positions` has one entry per node and is
+  /// updated in place; implementations must keep positions inside the
+  /// arena they were constructed with.
+  virtual void step(std::vector<Vec2>& positions) = 0;
+
+  /// True if the model will never move `node`.
+  virtual bool is_stationary(std::size_t node) const = 0;
+};
+
+/// Nothing moves (the network-mapping scenario).
+class StationaryMobility final : public MobilityModel {
+ public:
+  void step(std::vector<Vec2>&) override {}
+  bool is_stationary(std::size_t) const override { return true; }
+};
+
+/// Random-direction model with wall bounce. Each mobile node gets a speed
+/// drawn uniformly from [min_speed, max_speed] (per-node random velocity)
+/// and a random heading; headings re-randomise on wall contact and with a
+/// small per-step turn probability so paths are not billiard-regular.
+class RandomDirectionMobility final : public MobilityModel {
+ public:
+  struct Params {
+    double min_speed = 0.5;
+    double max_speed = 2.0;
+    double turn_probability = 0.05;  ///< Chance per step of a new heading.
+  };
+
+  /// `mobile[i]` selects which nodes move; the rest are pinned.
+  RandomDirectionMobility(Aabb bounds, std::vector<bool> mobile,
+                          Params params, Rng rng);
+
+  void step(std::vector<Vec2>& positions) override;
+  bool is_stationary(std::size_t node) const override;
+  double speed(std::size_t node) const;
+
+ private:
+  Aabb bounds_;
+  std::vector<bool> mobile_;
+  std::vector<double> speeds_;
+  std::vector<Vec2> headings_;  // unit vectors
+  Params params_;
+  Rng rng_;
+  bool initialised_ = false;
+};
+
+/// Random-waypoint model: move toward a waypoint at a per-leg speed drawn
+/// from [min_speed, max_speed], pause, pick a new waypoint.
+class RandomWaypointMobility final : public MobilityModel {
+ public:
+  struct Params {
+    double min_speed = 0.5;
+    double max_speed = 2.0;
+    int pause_steps = 3;
+  };
+
+  RandomWaypointMobility(Aabb bounds, std::vector<bool> mobile, Params params,
+                         Rng rng);
+
+  void step(std::vector<Vec2>& positions) override;
+  bool is_stationary(std::size_t node) const override;
+
+ private:
+  struct Leg {
+    Vec2 target{};
+    double speed = 0.0;
+    int pause_left = 0;
+    bool active = false;
+  };
+
+  Aabb bounds_;
+  std::vector<bool> mobile_;
+  std::vector<Leg> legs_;
+  Params params_;
+  Rng rng_;
+};
+
+/// Gauss–Markov model: speed and heading evolve as mean-reverting AR(1)
+/// processes, producing smooth, temporally correlated paths — a common
+/// MANET evaluation model that avoids random-waypoint's sharp turns.
+/// Near an arena wall the mean heading is steered back toward the centre.
+class GaussMarkovMobility final : public MobilityModel {
+ public:
+  struct Params {
+    double mean_speed = 1.5;
+    double speed_stddev = 0.5;
+    double heading_stddev = 0.4;  ///< Radians.
+    double alpha = 0.75;          ///< Memory level in [0, 1].
+    /// Distance from a wall at which the mean heading turns inward.
+    double wall_margin = 25.0;
+  };
+
+  GaussMarkovMobility(Aabb bounds, std::vector<bool> mobile, Params params,
+                      Rng rng);
+
+  void step(std::vector<Vec2>& positions) override;
+  bool is_stationary(std::size_t node) const override;
+
+ private:
+  Aabb bounds_;
+  std::vector<bool> mobile_;
+  std::vector<double> speeds_;
+  std::vector<double> headings_;  // radians
+  Params params_;
+  Rng rng_;
+};
+
+/// Replays a pre-recorded movement script. Construct via `record`, which
+/// runs `model` for `steps` steps from `initial` and stores every frame;
+/// replaying past the end holds the final frame (the network freezes).
+class TraceMobility final : public MobilityModel {
+ public:
+  /// Default-constructs an empty trace (zero nodes, zero frames); assign
+  /// the result of record() before use.
+  TraceMobility() = default;
+
+  static TraceMobility record(MobilityModel& model, std::vector<Vec2> initial,
+                              std::size_t steps);
+
+  /// Restarts playback from frame zero (fresh run, same movements).
+  void reset() { cursor_ = 0; }
+
+  void step(std::vector<Vec2>& positions) override;
+  bool is_stationary(std::size_t node) const override;
+
+  std::size_t frames() const { return frames_.size(); }
+  const std::vector<Vec2>& frame(std::size_t i) const;
+  const std::vector<Vec2>& initial() const { return initial_; }
+
+ private:
+  std::vector<Vec2> initial_;
+  std::vector<std::vector<Vec2>> frames_;  // frames_[t] = positions after t+1 steps
+  std::vector<bool> stationary_;
+  std::size_t cursor_ = 0;
+};
+
+/// Uniform random node placement inside `bounds`.
+std::vector<Vec2> random_positions(std::size_t node_count, Aabb bounds,
+                                   Rng& rng);
+
+}  // namespace agentnet

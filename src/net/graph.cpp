@@ -1,0 +1,70 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+
+namespace agentnet {
+
+Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  if (u == v) return false;
+  auto& adj = adjacency_[u];
+  auto it = std::lower_bound(adj.begin(), adj.end(), v);
+  if (it != adj.end() && *it == v) return false;
+  adj.insert(it, v);
+  ++edge_count_;
+  return true;
+}
+
+void Graph::add_undirected_edge(NodeId u, NodeId v) {
+  add_edge(u, v);
+  add_edge(v, u);
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  auto& adj = adjacency_[u];
+  auto it = std::lower_bound(adj.begin(), adj.end(), v);
+  if (it == adj.end() || *it != v) return false;
+  adj.erase(it);
+  --edge_count_;
+  return true;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  const auto& adj = adjacency_[u];
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+std::span<const NodeId> Graph::out_neighbors(NodeId u) const {
+  check_node(u);
+  return adjacency_[u];
+}
+
+std::size_t Graph::in_degree(NodeId u) const {
+  check_node(u);
+  std::size_t count = 0;
+  for (const auto& adj : adjacency_)
+    if (std::binary_search(adj.begin(), adj.end(), u)) ++count;
+  return count;
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edge_count_);
+  for (NodeId u = 0; u < adjacency_.size(); ++u)
+    for (NodeId v : adjacency_[u]) out.push_back({u, v});
+  return out;
+}
+
+void Graph::clear_edges() {
+  for (auto& adj : adjacency_) adj.clear();
+  edge_count_ = 0;
+}
+
+}  // namespace agentnet

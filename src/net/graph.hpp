@@ -1,0 +1,69 @@
+// Directed graph with per-node sorted adjacency.
+//
+// The paper's environments make the topology a directed graph (heterogeneous
+// battery-degraded radio ranges ⇒ A can hear B without B hearing A). Node
+// counts are in the hundreds and topologies are rebuilt wholesale each step
+// under mobility, so the representation favours simplicity and cache-friendly
+// iteration over incremental update tricks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// A directed edge u→v.
+struct Edge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count);
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Adds u→v if absent; returns true when the edge was new. Self-loops are
+  /// rejected (a radio does not link to itself).
+  bool add_edge(NodeId u, NodeId v);
+  /// Adds u→v and v→u.
+  void add_undirected_edge(NodeId u, NodeId v);
+  /// Removes u→v if present; returns true when an edge was removed.
+  bool remove_edge(NodeId u, NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const;
+  /// Out-neighbours of u in ascending id order.
+  std::span<const NodeId> out_neighbors(NodeId u) const;
+  std::size_t out_degree(NodeId u) const { return out_neighbors(u).size(); }
+  std::size_t in_degree(NodeId u) const;
+
+  /// All edges in (from, to) lexicographic order.
+  std::vector<Edge> edges() const;
+
+  /// Drops all edges, keeps the node set.
+  void clear_edges();
+
+  friend bool operator==(const Graph&, const Graph&) = default;
+
+ private:
+  void check_node(NodeId u) const {
+    AGENTNET_ASSERT_MSG(u < adjacency_.size(), "node id out of range");
+  }
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace agentnet

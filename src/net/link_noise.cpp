@@ -1,0 +1,43 @@
+#include "net/link_noise.hpp"
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+namespace {
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+LinkFlapper::LinkFlapper(double drop_probability, std::size_t persistence,
+                         std::uint64_t seed)
+    : drop_probability_(drop_probability),
+      persistence_(persistence),
+      seed_(seed) {
+  AGENTNET_REQUIRE(drop_probability >= 0.0 && drop_probability < 1.0,
+                   "drop probability must be in [0,1)");
+  AGENTNET_REQUIRE(persistence >= 1, "persistence must be >= 1");
+}
+
+bool LinkFlapper::down(NodeId u, NodeId v, std::size_t step) const {
+  if (drop_probability_ <= 0.0) return false;
+  const std::uint64_t window = step / persistence_;
+  std::uint64_t h = seed_ ^ 0x9e3779b97f4a7c15ULL;
+  h = mix64(h ^ u);
+  h = mix64(h ^ (static_cast<std::uint64_t>(v) << 32));
+  h = mix64(h ^ window);
+  const double u01 =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0,1)
+  return u01 < drop_probability_;
+}
+
+void LinkFlapper::apply(Graph& graph, std::size_t step) const {
+  if (drop_probability_ <= 0.0) return;
+  for (const Edge& e : graph.edges())
+    if (down(e.from, e.to, step)) graph.remove_edge(e.from, e.to);
+}
+
+}  // namespace agentnet

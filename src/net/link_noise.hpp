@@ -1,0 +1,40 @@
+// Link flapping: the paper's mapping environment assumes "there will be
+// some degradation on a percentage of radio links due to rely[ing] on
+// battery power", making links come and go even with stationary nodes.
+//
+// LinkFlapper gates each directed edge by a pure hash of
+// (edge, step / persistence, seed): a fraction `drop_probability` of links
+// is down in any window, each link's outages are temporally persistent for
+// `persistence` steps, and the whole process is deterministic with no
+// carried state — replays and parallel runs see identical weather.
+#pragma once
+
+#include <cstdint>
+
+#include "net/graph.hpp"
+
+namespace agentnet {
+
+class LinkFlapper {
+ public:
+  /// `drop_probability` in [0,1); `persistence` >= 1 steps per weather
+  /// window (an outage lasts whole windows).
+  LinkFlapper(double drop_probability, std::size_t persistence,
+              std::uint64_t seed);
+
+  /// True when edge u→v is down during `step`.
+  bool down(NodeId u, NodeId v, std::size_t step) const;
+
+  /// Removes all currently-down edges from `graph`.
+  void apply(Graph& graph, std::size_t step) const;
+
+  double drop_probability() const { return drop_probability_; }
+  std::size_t persistence() const { return persistence_; }
+
+ private:
+  double drop_probability_;
+  std::size_t persistence_;
+  std::uint64_t seed_;
+};
+
+}  // namespace agentnet

@@ -1,0 +1,54 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+TopologyBuilder::TopologyBuilder(Aabb bounds, double max_range,
+                                 LinkPolicy policy)
+    : grid_(bounds, std::max(max_range, 1e-9)),
+      policy_(policy),
+      max_range_(max_range) {
+  AGENTNET_REQUIRE(max_range > 0.0, "max_range must be > 0");
+}
+
+Graph TopologyBuilder::build(const std::vector<Vec2>& positions,
+                             const std::vector<double>& ranges) {
+  AGENTNET_REQUIRE(positions.size() == ranges.size(),
+                   "positions/ranges size mismatch");
+  Graph graph(positions.size());
+  grid_.rebuild(positions);
+  for (std::size_t u = 0; u < positions.size(); ++u) {
+    AGENTNET_REQUIRE(ranges[u] <= max_range_ * (1.0 + 1e-12),
+                     "effective range exceeds builder max_range");
+    // Query by this node's own reach; for symmetric policies the pair rule
+    // is evaluated per candidate.
+    const double query_radius =
+        policy_ == LinkPolicy::kSymmetricOr ? max_range_ : ranges[u];
+    grid_.for_each_within(positions[u], query_radius, [&](std::size_t v) {
+      if (v == u) return;
+      const double d2 = distance2(positions[u], positions[v]);
+      const double ru2 = ranges[u] * ranges[u];
+      const double rv2 = ranges[v] * ranges[v];
+      switch (policy_) {
+        case LinkPolicy::kDirected:
+          if (d2 <= ru2) graph.add_edge(static_cast<NodeId>(u),
+                                        static_cast<NodeId>(v));
+          break;
+        case LinkPolicy::kSymmetricAnd:
+          if (d2 <= ru2 && d2 <= rv2)
+            graph.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+          break;
+        case LinkPolicy::kSymmetricOr:
+          if (d2 <= ru2 || d2 <= rv2)
+            graph.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+          break;
+      }
+    });
+  }
+  return graph;
+}
+
+}  // namespace agentnet

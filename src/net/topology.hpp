@@ -1,0 +1,41 @@
+// Builds the live link graph from node positions and effective radio ranges.
+#pragma once
+
+#include <vector>
+
+#include "geom/spatial_grid.hpp"
+#include "geom/vec2.hpp"
+#include "net/graph.hpp"
+
+namespace agentnet {
+
+/// How a one-way radio reach (u hears within range(u)) becomes a link.
+enum class LinkPolicy {
+  kDirected,      ///< u→v iff dist ≤ range(u). The mapping environment.
+  kSymmetricAnd,  ///< {u,v} iff dist ≤ min(range(u), range(v)). Routing env:
+                  ///< a usable data link needs both directions.
+  kSymmetricOr,   ///< {u,v} iff dist ≤ max(range(u), range(v)).
+};
+
+/// Rebuilds graphs from (positions, effective ranges). Stateless apart from
+/// a reusable spatial grid sized for the largest range it will see.
+class TopologyBuilder {
+ public:
+  /// `max_range` bounds every effective range passed to build(); used only
+  /// to size the grid cells.
+  TopologyBuilder(Aabb bounds, double max_range, LinkPolicy policy);
+
+  LinkPolicy policy() const { return policy_; }
+
+  /// Computes the link graph for the given snapshot. `ranges[i]` is node
+  /// i's current effective radio range.
+  Graph build(const std::vector<Vec2>& positions,
+              const std::vector<double>& ranges);
+
+ private:
+  SpatialGrid grid_;
+  LinkPolicy policy_;
+  double max_range_;
+};
+
+}  // namespace agentnet

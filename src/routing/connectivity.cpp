@@ -1,0 +1,116 @@
+#include "routing/connectivity.hpp"
+
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+std::vector<bool> valid_route_flags(const Graph& graph,
+                                    const RoutingTables& tables,
+                                    const std::vector<bool>& is_gateway,
+                                    std::size_t max_hops) {
+  const std::size_t n = graph.node_count();
+  AGENTNET_REQUIRE(tables.size() == n, "tables/graph size mismatch");
+  AGENTNET_REQUIRE(is_gateway.size() == n, "gateway mask size mismatch");
+  std::vector<bool> valid(n, false);
+  if (max_hops != 0 && max_hops < n) {
+    // A tight hop budget makes validity depend on the remaining budget at
+    // each node, so verdicts cannot be shared between walks; do exact
+    // independent walks (still cheap: budget bounds each one).
+    for (NodeId start = 0; start < n; ++start) {
+      NodeId u = start;
+      std::size_t hops = 0;
+      while (!is_gateway[u] && hops < max_hops) {
+        const RouteEntry& e = tables.entry(u);
+        if (!e.valid() || !graph.has_edge(u, e.next_hop)) break;
+        u = e.next_hop;
+        ++hops;
+      }
+      valid[start] = is_gateway[u];
+    }
+    for (NodeId v = 0; v < n; ++v)
+      if (is_gateway[v]) valid[v] = true;
+    return valid;
+  }
+  max_hops = n;
+  // Walks are memoised per measurement: 0 unknown, 1 good, 2 bad/visiting.
+  std::vector<char> state(n, 0);
+  for (NodeId start = 0; start < n; ++start) {
+    if (state[start] != 0) {
+      valid[start] = state[start] == 1;
+      continue;
+    }
+    std::vector<NodeId> path;
+    NodeId u = start;
+    std::size_t hops = 0;
+    char verdict = 2;
+    while (true) {
+      if (is_gateway[u] || state[u] == 1) {
+        verdict = 1;
+        break;
+      }
+      if (state[u] == 2) break;  // known dead end
+      const RouteEntry& e = tables.entry(u);
+      if (!e.valid() || hops >= max_hops) break;
+      if (!graph.has_edge(u, e.next_hop)) break;  // link is gone right now
+      state[u] = 2;  // mark visiting: revisiting it means a loop
+      path.push_back(u);
+      u = e.next_hop;
+      ++hops;
+    }
+    for (NodeId v : path) state[v] = verdict;
+    if (state[start] == 0) state[start] = verdict;  // start was a gateway
+    valid[start] = verdict == 1;
+  }
+  for (NodeId v = 0; v < n; ++v)
+    if (is_gateway[v]) valid[v] = true;
+  return valid;
+}
+
+ConnectivityResult measure_connectivity(const Graph& graph,
+                                        const RoutingTables& tables,
+                                        const std::vector<bool>& is_gateway,
+                                        std::size_t max_hops) {
+  const auto valid = valid_route_flags(graph, tables, is_gateway, max_hops);
+  ConnectivityResult result;
+  result.total = valid.size();
+  for (bool v : valid)
+    if (v) ++result.connected;
+  return result;
+}
+
+ConnectivityResult oracle_connectivity(const Graph& graph,
+                                       const std::vector<bool>& is_gateway) {
+  const std::size_t n = graph.node_count();
+  AGENTNET_REQUIRE(is_gateway.size() == n, "gateway mask size mismatch");
+  // A node is potentially connected iff it reaches a gateway along edge
+  // directions; BFS from all gateways over *incoming* edges.
+  Graph rev(n);
+  for (const Edge& e : graph.edges()) rev.add_edge(e.to, e.from);
+  std::vector<bool> reach(n, false);
+  std::queue<NodeId> frontier;
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_gateway[v]) {
+      reach[v] = true;
+      frontier.push(v);
+    }
+  }
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId w : rev.out_neighbors(u)) {
+      if (!reach[w]) {
+        reach[w] = true;
+        frontier.push(w);
+      }
+    }
+  }
+  ConnectivityResult result;
+  result.total = n;
+  for (bool r : reach)
+    if (r) ++result.connected;
+  return result;
+}
+
+}  // namespace agentnet

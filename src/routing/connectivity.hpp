@@ -1,0 +1,44 @@
+// The paper's system-performance measure for dynamic routing:
+// "the fraction of nodes in the system that has a valid route to at least
+// one gateway". A route is valid when following next-hops from the node
+// reaches a gateway over links that exist *right now*, without looping.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "routing/routing_table.hpp"
+
+namespace agentnet {
+
+struct ConnectivityResult {
+  std::size_t connected = 0;  ///< Nodes with a valid gateway route.
+  std::size_t total = 0;      ///< All nodes (gateways count as connected).
+  double fraction() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(connected) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Walks every node's routing-table chain over the live `graph`.
+/// `is_gateway[i]` marks gateway nodes (always connected). `max_hops`
+/// bounds the walk; 0 means node_count (any simple path fits).
+ConnectivityResult measure_connectivity(const Graph& graph,
+                                        const RoutingTables& tables,
+                                        const std::vector<bool>& is_gateway,
+                                        std::size_t max_hops = 0);
+
+/// Per-node validity flags from the same walk (diagnostics / tests).
+std::vector<bool> valid_route_flags(const Graph& graph,
+                                    const RoutingTables& tables,
+                                    const std::vector<bool>& is_gateway,
+                                    std::size_t max_hops = 0);
+
+/// Upper bound no agent system can beat: the fraction of nodes with *any*
+/// live path to a gateway in `graph` (multi-source BFS on reversed edges).
+ConnectivityResult oracle_connectivity(const Graph& graph,
+                                       const std::vector<bool>& is_gateway);
+
+}  // namespace agentnet

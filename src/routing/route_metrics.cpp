@@ -1,0 +1,60 @@
+#include "routing/route_metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+double RouteTableReport::load_imbalance() const {
+  std::size_t served_gateways = 0;
+  std::size_t total = 0;
+  std::size_t peak = 0;
+  for (std::size_t load : gateway_load) {
+    if (load == 0) continue;
+    ++served_gateways;
+    total += load;
+    peak = std::max(peak, load);
+  }
+  if (served_gateways == 0) return 0.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(served_gateways);
+  return static_cast<double>(peak) / mean;
+}
+
+RouteTableReport analyze_tables(const Graph& graph,
+                                const RoutingTables& tables,
+                                const std::vector<bool>& is_gateway,
+                                std::size_t now) {
+  const std::size_t n = graph.node_count();
+  AGENTNET_REQUIRE(tables.size() == n, "tables/graph size mismatch");
+  AGENTNET_REQUIRE(is_gateway.size() == n, "gateway mask size mismatch");
+  RouteTableReport report;
+  report.gateway_load.assign(n, 0);
+  for (NodeId start = 0; start < n; ++start) {
+    if (is_gateway[start]) continue;
+    const RouteEntry& entry = tables.entry(start);
+    if (!entry.valid()) continue;
+    ++report.entries;
+    report.hops.add(static_cast<double>(entry.hops));
+    AGENTNET_ASSERT(now >= entry.installed_at);
+    report.age.add(static_cast<double>(now - entry.installed_at));
+    // Follow the chain to find the gateway actually reached.
+    NodeId u = start;
+    std::size_t steps = 0;
+    while (steps <= n) {
+      if (is_gateway[u]) break;
+      const RouteEntry& e = tables.entry(u);
+      if (!e.valid() || !graph.has_edge(u, e.next_hop)) break;
+      u = e.next_hop;
+      ++steps;
+    }
+    if (is_gateway[u]) {
+      ++report.valid_entries;
+      ++report.gateway_load[u];
+    }
+  }
+  return report;
+}
+
+}  // namespace agentnet

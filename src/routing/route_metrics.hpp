@@ -1,0 +1,39 @@
+// Diagnostics over a routing-table snapshot: how long the installed routes
+// are, how stale, and how evenly the gateways carry the load. Used by
+// examples and tests; the connectivity metric itself lives in
+// routing/connectivity.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "net/graph.hpp"
+#include "routing/routing_table.hpp"
+
+namespace agentnet {
+
+struct RouteTableReport {
+  std::size_t entries = 0;        ///< Nodes holding any route.
+  std::size_t valid_entries = 0;  ///< Entries whose walk reaches a gateway
+                                  ///< over live links right now.
+  RunningStats hops;              ///< Advertised hop counts of all entries.
+  RunningStats age;               ///< now − installed_at of all entries.
+  /// Nodes whose current *valid* route targets each gateway, indexed by
+  /// gateway node id (zero for non-gateway ids).
+  std::vector<std::size_t> gateway_load;
+
+  /// Load imbalance across gateways: max load / mean load over gateways
+  /// that serve at least one node; 0 when nothing is routed.
+  double load_imbalance() const;
+};
+
+/// Walks every entry like the connectivity metric, but attributes each
+/// connected node to the gateway its chain actually reaches (which can
+/// differ from the entry's advertised gateway after churn).
+RouteTableReport analyze_tables(const Graph& graph,
+                                const RoutingTables& tables,
+                                const std::vector<bool>& is_gateway,
+                                std::size_t now);
+
+}  // namespace agentnet

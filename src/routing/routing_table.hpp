@@ -1,0 +1,62 @@
+// Per-node routing tables maintained exclusively by mobile agents.
+//
+// The paper: "Every node has a simple routing table which agents update
+// frequently. The nodes themselves run no programs; all topology mapping
+// relies on the operation of the agents." A table holds the node's current
+// best route toward *some* gateway (next hop + hop estimate + install time);
+// agents offer candidate routes and the table keeps the better one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace agentnet {
+
+struct RouteEntry {
+  NodeId next_hop = kInvalidNode;
+  NodeId gateway = kInvalidNode;
+  std::uint32_t hops = 0;          ///< Estimated hops to `gateway`.
+  std::size_t installed_at = 0;    ///< Simulation step of installation.
+
+  bool valid() const { return next_hop != kInvalidNode; }
+};
+
+/// Route-replacement policy knobs.
+struct RoutePolicy {
+  /// An entry older than this many steps is considered stale: any fresh
+  /// candidate beats it regardless of hop count. In a mobile network old
+  /// routes rot as links break, so freshness dominates eventually.
+  std::size_t freshness_window = 30;
+};
+
+class RoutingTables {
+ public:
+  RoutingTables(std::size_t node_count, RoutePolicy policy = {});
+
+  std::size_t size() const { return entries_.size(); }
+  const RouteEntry& entry(NodeId node) const;
+  const RoutePolicy& policy() const { return policy_; }
+
+  /// Offers a candidate route for `node` at time `now`; keeps the better of
+  /// (existing, candidate) per the policy. Returns true when the candidate
+  /// was installed.
+  bool offer(NodeId node, const RouteEntry& candidate, std::size_t now);
+
+  /// Unconditionally installs (tests / oracle seeding).
+  void force(NodeId node, const RouteEntry& entry);
+  void clear(NodeId node);
+  void clear_all();
+
+  bool is_stale(const RouteEntry& entry, std::size_t now) const {
+    return !entry.valid() || now - entry.installed_at > policy_.freshness_window;
+  }
+
+ private:
+  std::vector<RouteEntry> entries_;
+  RoutePolicy policy_;
+};
+
+}  // namespace agentnet

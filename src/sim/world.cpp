@@ -1,0 +1,76 @@
+#include "sim/world.hpp"
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+World::World(Aabb bounds, std::vector<Vec2> initial_positions,
+             RadioModel radio, BatteryBank batteries,
+             std::unique_ptr<MobilityModel> mobility, LinkPolicy policy)
+    : bounds_(bounds),
+      positions_(std::move(initial_positions)),
+      radio_(std::move(radio)),
+      batteries_(std::move(batteries)),
+      mobility_(std::move(mobility)),
+      builder_(bounds, radio_.max_base_range(), policy) {
+  AGENTNET_REQUIRE(positions_.size() == radio_.size(),
+                   "positions / radio size mismatch");
+  AGENTNET_REQUIRE(positions_.size() == batteries_.size(),
+                   "positions / batteries size mismatch");
+  AGENTNET_REQUIRE(mobility_ != nullptr, "world needs a mobility model");
+  rebuild_graph();
+}
+
+World World::frozen(const GeneratedNetwork& net) {
+  const std::size_t n = net.positions.size();
+  BatteryBank mains(n, std::vector<bool>(n, false), BatteryParams{});
+  World world(net.bounds, net.positions,
+              RadioModel(net.base_ranges, RangeScaling{1.0}),
+              std::move(mains), std::make_unique<StationaryMobility>(),
+              net.policy);
+  return world;
+}
+
+World World::fixed(Graph graph) {
+  const std::size_t n = graph.node_count();
+  AGENTNET_REQUIRE(n >= 1, "fixed world needs at least one node");
+  // Synthetic unit-spaced geometry so World's invariants hold; the graph
+  // itself is pinned and never derived from it.
+  std::vector<Vec2> positions(n);
+  for (std::size_t i = 0; i < n; ++i)
+    positions[i] = {static_cast<double>(i), 0.0};
+  const Aabb bounds{{-1.0, -1.0}, {static_cast<double>(n), 1.0}};
+  BatteryBank mains(n, std::vector<bool>(n, false), BatteryParams{});
+  World world(bounds, std::move(positions),
+              RadioModel(std::vector<double>(n, 0.5), RangeScaling{1.0}),
+              std::move(mains), std::make_unique<StationaryMobility>(),
+              LinkPolicy::kDirected);
+  world.fixed_topology_ = true;
+  world.graph_ = std::move(graph);
+  return world;
+}
+
+void World::advance() {
+  mobility_->step(positions_);
+  batteries_.step();
+  ++step_;  // the rebuilt graph (incl. link weather) belongs to the new step
+  rebuild_graph();
+}
+
+void World::set_link_flapper(std::optional<LinkFlapper> flapper) {
+  AGENTNET_REQUIRE(!fixed_topology_ || !flapper,
+                   "fixed-topology worlds do not support link flappers");
+  flapper_ = std::move(flapper);
+  rebuild_graph();
+}
+
+void World::rebuild_graph() {
+  if (fixed_topology_) return;
+  std::vector<double> ranges(positions_.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i)
+    ranges[i] = effective_range(static_cast<NodeId>(i));
+  graph_ = builder_.build(positions_, ranges);
+  if (flapper_) flapper_->apply(graph_, step_);
+}
+
+}  // namespace agentnet

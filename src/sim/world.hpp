@@ -1,0 +1,92 @@
+// The simulated wireless world: node positions driven by a mobility model,
+// batteries draining, radio ranges scaling with charge, and the live link
+// graph rebuilt from the current snapshot each step.
+//
+// Agents (src/core) observe the World read-only; all agent interaction with
+// the environment goes through node-local state (routing tables, stigmergy
+// boards) owned by the task layer, matching the paper's "the nodes
+// themselves run no programs".
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "energy/battery.hpp"
+#include "geom/vec2.hpp"
+#include "mobility/mobility.hpp"
+#include "net/generators.hpp"
+#include "net/graph.hpp"
+#include "net/link_noise.hpp"
+#include "net/topology.hpp"
+#include "radio/range_model.hpp"
+
+namespace agentnet {
+
+class World {
+ public:
+  /// Fully general constructor; see the factory helpers below for the two
+  /// paper scenarios.
+  World(Aabb bounds, std::vector<Vec2> initial_positions,
+        RadioModel radio, BatteryBank batteries,
+        std::unique_ptr<MobilityModel> mobility, LinkPolicy policy);
+
+  /// A frozen snapshot world: stationary nodes, mains power. Used by the
+  /// mapping scenario (and tests) — the graph never changes.
+  static World frozen(const GeneratedNetwork& net);
+
+  /// A world pinned to an explicit abstract graph (no geometry): the graph
+  /// is never rebuilt, advance() only ticks the clock. For running agents
+  /// on non-geometric topologies (Erdős–Rényi, preferential attachment).
+  /// Link flappers are not supported on fixed worlds.
+  static World fixed(Graph graph);
+
+  /// Advances one simulation step: mobility, battery drain, link rebuild.
+  void advance();
+
+  std::size_t node_count() const { return positions_.size(); }
+  std::size_t step() const { return step_; }
+  const Graph& graph() const { return graph_; }
+  const std::vector<Vec2>& positions() const { return positions_; }
+  const RadioModel& radio() const { return radio_; }
+  const BatteryBank& batteries() const { return batteries_; }
+  const MobilityModel& mobility() const { return *mobility_; }
+  Aabb bounds() const { return bounds_; }
+  LinkPolicy link_policy() const { return builder_.policy(); }
+
+  double effective_range(NodeId node) const {
+    return radio_.effective_range(node, batteries_.fraction(node));
+  }
+
+  /// Installs (or clears) link weather: down links are removed from the
+  /// graph after every rebuild. Takes effect immediately.
+  void set_link_flapper(std::optional<LinkFlapper> flapper);
+  const std::optional<LinkFlapper>& link_flapper() const { return flapper_; }
+
+ private:
+  void rebuild_graph();
+
+  Aabb bounds_;
+  std::vector<Vec2> positions_;
+  RadioModel radio_;
+  BatteryBank batteries_;
+  std::unique_ptr<MobilityModel> mobility_;
+  TopologyBuilder builder_;
+  Graph graph_;
+  std::optional<LinkFlapper> flapper_;
+  bool fixed_topology_ = false;
+  std::size_t step_ = 0;
+};
+
+/// Per-step scalar recorder: collects one named series over a run.
+class SeriesRecorder {
+ public:
+  void record(double value) { values_.push_back(value); }
+  const std::vector<double>& values() const { return values_; }
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace agentnet

@@ -1,0 +1,103 @@
+#include "traffic/traffic.hpp"
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+TrafficSimulator::TrafficSimulator(std::size_t node_count,
+                                   std::vector<bool> is_gateway,
+                                   TrafficConfig config, Rng rng)
+    : config_(config),
+      is_gateway_(std::move(is_gateway)),
+      queues_(node_count),
+      rng_(rng) {
+  AGENTNET_REQUIRE(is_gateway_.size() == node_count,
+                   "gateway mask size mismatch");
+  AGENTNET_REQUIRE(config.packets_per_node_per_step >= 0.0 &&
+                       config.packets_per_node_per_step <= 1.0,
+                   "generation probability must be in [0,1]");
+  AGENTNET_REQUIRE(config.ttl >= 1, "ttl must be >= 1");
+  AGENTNET_REQUIRE(config.queue_capacity >= 1, "queue capacity must be >= 1");
+  AGENTNET_REQUIRE(config.service_rate >= 1, "service rate must be >= 1");
+}
+
+void TrafficSimulator::enqueue(NodeId node, Packet packet) {
+  if (queues_[node].size() >= config_.queue_capacity) {
+    ++stats_.dropped_queue_full;
+    return;
+  }
+  queues_[node].push_back(packet);
+}
+
+void TrafficSimulator::step(const Graph& graph, const RoutingTables& tables,
+                            std::size_t now) {
+  AGENTNET_REQUIRE(graph.node_count() == queues_.size(),
+                   "graph size does not match traffic simulator");
+  AGENTNET_REQUIRE(tables.size() == queues_.size(),
+                   "tables size does not match traffic simulator");
+
+  // Generation: gateways sink traffic, everyone else sources it.
+  for (NodeId v = 0; v < queues_.size(); ++v) {
+    if (is_gateway_[v]) continue;
+    if (rng_.bernoulli(config_.packets_per_node_per_step)) {
+      ++stats_.generated;
+      enqueue(v, Packet{v, now, 0, 0});
+    }
+  }
+
+  // Forwarding: service each node's queue head-first. Packets forwarded in
+  // this step land in `incoming` and only join queues afterwards, so a
+  // packet moves at most one hop per step.
+  std::vector<std::pair<NodeId, Packet>> incoming;
+  for (NodeId v = 0; v < queues_.size(); ++v) {
+    auto& queue = queues_[v];
+    for (std::size_t served = 0;
+         served < config_.service_rate && !queue.empty(); ++served) {
+      Packet packet = queue.front();
+      queue.pop_front();
+      const RouteEntry& route = tables.entry(v);
+      if (!route.valid()) {
+        if (++packet.waited > config_.route_patience) {
+          ++stats_.dropped_no_route;
+        } else {
+          queue.push_back(packet);  // wait for the agents to install one
+        }
+        continue;
+      }
+      if (!graph.has_edge(v, route.next_hop)) {
+        // The table points over a dead link; treat like waiting — the
+        // route may be refreshed or the link may come back as nodes move.
+        if (++packet.waited > config_.route_patience) {
+          ++stats_.dropped_link_down;
+        } else {
+          queue.push_back(packet);
+        }
+        continue;
+      }
+      packet.waited = 0;
+      if (++packet.hops > config_.ttl) {
+        ++stats_.dropped_ttl;
+        continue;
+      }
+      incoming.push_back({route.next_hop, packet});
+    }
+  }
+  for (auto& [node, packet] : incoming) {
+    if (is_gateway_[node]) {
+      ++stats_.delivered;
+      stats_.latency.add(static_cast<double>(now - packet.created_at + 1));
+    } else {
+      enqueue(node, packet);
+    }
+  }
+}
+
+std::size_t TrafficSimulator::queued() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+void TrafficSimulator::finish() { stats_.in_flight = queued(); }
+
+}  // namespace agentnet

@@ -1,0 +1,98 @@
+// Packet-level traffic over agent-maintained routing tables.
+//
+// The paper motivates dynamic routing with data delivery: "An average packet
+// will use a multi-hop path to reach one of those gateways." Connectivity
+// (fraction of nodes with a valid route) is the paper's proxy metric; this
+// module closes the loop by actually injecting packets, forwarding them one
+// hop per step along the routing tables over the *live* link graph, and
+// measuring delivery ratio and latency. The extC bench shows how the proxy
+// metric translates into end-to-end delivery for each agent design.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "net/graph.hpp"
+#include "routing/routing_table.hpp"
+
+namespace agentnet {
+
+struct TrafficConfig {
+  /// Bernoulli packet-generation probability per non-gateway node per step.
+  double packets_per_node_per_step = 0.05;
+  /// Hop budget per packet; exceeded → dropped.
+  std::uint32_t ttl = 32;
+  /// Per-node queue capacity; arrivals beyond it are dropped.
+  std::size_t queue_capacity = 16;
+  /// Packets forwarded per node per step (link service rate).
+  std::size_t service_rate = 4;
+  /// A packet at a node with no valid route waits this many steps for the
+  /// agents to install one before being dropped.
+  std::size_t route_patience = 10;
+};
+
+struct TrafficStats {
+  std::size_t generated = 0;
+  std::size_t delivered = 0;
+  std::size_t dropped_no_route = 0;   ///< Patience exhausted, no route.
+  std::size_t dropped_link_down = 0;  ///< Next hop not a live link.
+  std::size_t dropped_ttl = 0;
+  std::size_t dropped_queue_full = 0;
+  std::size_t in_flight = 0;  ///< Still queued when measurement ended.
+  RunningStats latency;       ///< Steps from creation to gateway arrival.
+
+  std::size_t dropped() const {
+    return dropped_no_route + dropped_link_down + dropped_ttl +
+           dropped_queue_full;
+  }
+  /// Delivered / (delivered + dropped): the fate of resolved packets.
+  double delivery_ratio() const {
+    const std::size_t resolved = delivered + dropped();
+    return resolved == 0
+               ? 0.0
+               : static_cast<double>(delivered) /
+                     static_cast<double>(resolved);
+  }
+};
+
+/// Forwards packets toward gateways along the current routing tables.
+/// Deterministic given its Rng and the sequence of (graph, tables) steps.
+class TrafficSimulator {
+ public:
+  TrafficSimulator(std::size_t node_count, std::vector<bool> is_gateway,
+                   TrafficConfig config, Rng rng);
+
+  /// One simulation step: generate new packets, then let every node forward
+  /// up to service_rate packets one hop over `graph` per `tables`.
+  void step(const Graph& graph, const RoutingTables& tables,
+            std::size_t now);
+
+  const TrafficStats& stats() const { return stats_; }
+  /// Packets currently queued somewhere in the network.
+  std::size_t queued() const;
+  const TrafficConfig& config() const { return config_; }
+
+  /// Marks measurement end: queued packets are tallied as in_flight.
+  void finish();
+
+ private:
+  struct Packet {
+    NodeId origin = kInvalidNode;
+    std::size_t created_at = 0;
+    std::uint32_t hops = 0;
+    std::size_t waited = 0;  ///< Consecutive steps without a usable route.
+  };
+
+  void enqueue(NodeId node, Packet packet);
+
+  TrafficConfig config_;
+  std::vector<bool> is_gateway_;
+  std::vector<std::deque<Packet>> queues_;
+  TrafficStats stats_;
+  Rng rng_;
+};
+
+}  // namespace agentnet

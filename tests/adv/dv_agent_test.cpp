@@ -1,0 +1,179 @@
+#include "adv/dv_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+namespace {
+
+// Line 0(gw)-1-2-3-4, bidirectional.
+struct LineWorld {
+  Graph graph{5};
+  std::vector<bool> is_gateway{true, false, false, false, false};
+  LineWorld() {
+    for (NodeId i = 0; i + 1 < 5; ++i) graph.add_undirected_edge(i, i + 1);
+  }
+};
+
+DvAgent make_agent(NodeId start, std::size_t table_size = 40,
+                   std::size_t ttl = 60) {
+  return DvAgent(0, start, {table_size, ttl}, Rng(1));
+}
+
+TEST(DvAgentTest, RejectsBadConfig) {
+  EXPECT_THROW(DvAgent(0, 0, {1, 60}, Rng(1)), ConfigError);
+  EXPECT_THROW(DvAgent(0, 0, {40, 0}, Rng(1)), ConfigError);
+}
+
+TEST(DvAgentTest, GatewayAnchorsDistanceZero) {
+  LineWorld w;
+  auto agent = make_agent(0);
+  agent.arrive(w.graph, w.is_gateway, 5);
+  ASSERT_TRUE(agent.table().contains(0));
+  EXPECT_EQ(agent.table().at(0).distance, 0u);
+  EXPECT_EQ(agent.table().at(0).updated, 5u);
+}
+
+TEST(DvAgentTest, RelaxationBuildsDistancesAlongWalk) {
+  LineWorld w;
+  auto agent = make_agent(0);
+  agent.arrive(w.graph, w.is_gateway, 0);
+  agent.move_to(1);
+  agent.arrive(w.graph, w.is_gateway, 1);  // sees gw at distance 0 → 1
+  EXPECT_EQ(agent.table().at(1).distance, 1u);
+  agent.move_to(2);
+  agent.arrive(w.graph, w.is_gateway, 2);
+  EXPECT_EQ(agent.table().at(2).distance, 2u);
+}
+
+TEST(DvAgentTest, NoRelaxationWithoutKnownNeighbors) {
+  LineWorld w;
+  auto agent = make_agent(3);
+  agent.arrive(w.graph, w.is_gateway, 0);
+  EXPECT_FALSE(agent.table().contains(3));
+}
+
+TEST(DvAgentTest, InstallUsesArgminNeighbor) {
+  LineWorld w;
+  auto agent = make_agent(0);
+  agent.arrive(w.graph, w.is_gateway, 0);
+  agent.move_to(1);
+  agent.arrive(w.graph, w.is_gateway, 1);
+  RoutingTables tables(5);
+  EXPECT_TRUE(agent.install(w.graph, tables, w.is_gateway, 1));
+  EXPECT_EQ(tables.entry(1).next_hop, 0u);
+  EXPECT_EQ(tables.entry(1).hops, 1u);
+}
+
+TEST(DvAgentTest, NoInstallAtGatewayOrBlind) {
+  LineWorld w;
+  auto at_gw = make_agent(0);
+  at_gw.arrive(w.graph, w.is_gateway, 0);
+  RoutingTables tables(5);
+  EXPECT_FALSE(at_gw.install(w.graph, tables, w.is_gateway, 0));
+  auto blind = make_agent(3);
+  blind.arrive(w.graph, w.is_gateway, 0);
+  EXPECT_FALSE(blind.install(w.graph, tables, w.is_gateway, 0));
+}
+
+TEST(DvAgentTest, EntriesExpire) {
+  LineWorld w;
+  auto agent = make_agent(0, 40, 5);
+  agent.arrive(w.graph, w.is_gateway, 0);
+  agent.move_to(2);  // away from the gateway, no refresh
+  agent.arrive(w.graph, w.is_gateway, 10);
+  EXPECT_FALSE(agent.table().contains(0)) << "gateway entry aged out";
+}
+
+TEST(DvAgentTest, TableSizeBounded) {
+  // Visit many nodes on a long line with a tiny table.
+  Graph g(30);
+  for (NodeId i = 0; i + 1 < 30; ++i) g.add_undirected_edge(i, i + 1);
+  std::vector<bool> gw(30, false);
+  gw[0] = true;
+  auto agent = make_agent(0, 4, 1000);
+  agent.arrive(g, gw, 0);
+  for (NodeId v = 1; v < 20; ++v) {
+    agent.move_to(v);
+    agent.arrive(g, gw, v);
+    EXPECT_LE(agent.table().size(), 4u);
+  }
+}
+
+TEST(DvAgentTest, StateSizeTracksTable) {
+  LineWorld w;
+  auto agent = make_agent(0);
+  EXPECT_EQ(agent.state_size_bytes(), 64u);
+  agent.arrive(w.graph, w.is_gateway, 0);
+  EXPECT_EQ(agent.state_size_bytes(), 64u + 16u);
+}
+
+TEST(DvAgentTest, DecidePrefersUnknownNeighbors) {
+  LineWorld w;
+  auto agent = make_agent(1);
+  agent.arrive(w.graph, w.is_gateway, 0);  // knows nothing yet (no anchor)
+  agent.move_to(0);
+  agent.arrive(w.graph, w.is_gateway, 1);  // knows 0
+  agent.move_to(1);
+  agent.arrive(w.graph, w.is_gateway, 2);  // knows 1 (distance 1)
+  // At 1: neighbour 0 known (updated 1), neighbour 2 unknown → pick 2.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(agent.decide(w.graph, 3), 2u);
+}
+
+TEST(DvTaskTest, RunsAndConnects) {
+  RoutingScenarioParams params;
+  params.node_count = 80;
+  params.gateway_count = 5;
+  params.bounds = {{0.0, 0.0}, {500.0, 500.0}};
+  params.node_range = 95.0;
+  params.trace_steps = 120;
+  const RoutingScenario scenario(params, 51);
+  DvRoutingTaskConfig cfg;
+  cfg.population = 30;
+  cfg.steps = 120;
+  cfg.measure_from = 60;
+  const auto result = run_dv_routing_task(scenario, cfg, Rng(1));
+  ASSERT_EQ(result.connectivity.size(), 120u);
+  EXPECT_GT(result.mean_connectivity, 0.2);
+  EXPECT_GT(result.migration_bytes, 0u);
+}
+
+TEST(DvTaskTest, Deterministic) {
+  RoutingScenarioParams params;
+  params.node_count = 60;
+  params.gateway_count = 4;
+  params.bounds = {{0.0, 0.0}, {400.0, 400.0}};
+  params.trace_steps = 60;
+  const RoutingScenario scenario(params, 52);
+  DvRoutingTaskConfig cfg;
+  cfg.population = 20;
+  cfg.steps = 60;
+  cfg.measure_from = 30;
+  const auto a = run_dv_routing_task(scenario, cfg, Rng(2));
+  const auto b = run_dv_routing_task(scenario, cfg, Rng(2));
+  EXPECT_EQ(a.connectivity, b.connectivity);
+  EXPECT_EQ(a.migration_bytes, b.migration_bytes);
+}
+
+TEST(DvTaskTest, BiggerTableCostsMoreBytes) {
+  RoutingScenarioParams params;
+  params.node_count = 60;
+  params.gateway_count = 4;
+  params.bounds = {{0.0, 0.0}, {400.0, 400.0}};
+  params.trace_steps = 60;
+  const RoutingScenario scenario(params, 53);
+  DvRoutingTaskConfig small_cfg;
+  small_cfg.population = 20;
+  small_cfg.steps = 60;
+  small_cfg.measure_from = 30;
+  small_cfg.agent.table_size = 5;
+  auto big_cfg = small_cfg;
+  big_cfg.agent.table_size = 60;
+  const auto small_r = run_dv_routing_task(scenario, small_cfg, Rng(3));
+  const auto big_r = run_dv_routing_task(scenario, big_cfg, Rng(3));
+  EXPECT_GT(big_r.migration_bytes, small_r.migration_bytes);
+}
+
+}  // namespace
+}  // namespace agentnet

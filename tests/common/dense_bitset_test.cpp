@@ -1,0 +1,114 @@
+#include "common/dense_bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace agentnet {
+namespace {
+
+TEST(DenseBitsetTest, StartsClear) {
+  DenseBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.count(), 0u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DenseBitsetTest, SetAndTest) {
+  DenseBitset b(100);
+  EXPECT_TRUE(b.set(0));
+  EXPECT_TRUE(b.set(63));
+  EXPECT_TRUE(b.set(64));
+  EXPECT_TRUE(b.set(99));
+  EXPECT_EQ(b.count(), 4u);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(99));
+  EXPECT_FALSE(b.test(1));
+}
+
+TEST(DenseBitsetTest, DoubleSetReturnsFalse) {
+  DenseBitset b(10);
+  EXPECT_TRUE(b.set(5));
+  EXPECT_FALSE(b.set(5));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(DenseBitsetTest, ResetClearsAndAdjustsCount) {
+  DenseBitset b(10);
+  b.set(3);
+  b.set(7);
+  b.reset(3);
+  EXPECT_FALSE(b.test(3));
+  EXPECT_EQ(b.count(), 1u);
+  b.reset(3);  // idempotent
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(DenseBitsetTest, MergeCountsNewBits) {
+  DenseBitset a(200), b(200);
+  a.set(1);
+  a.set(100);
+  b.set(100);
+  b.set(150);
+  EXPECT_EQ(a.merge(b), 1u);  // only 150 is new
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_TRUE(a.test(150));
+}
+
+TEST(DenseBitsetTest, MergeSizeMismatchThrows) {
+  DenseBitset a(10), b(11);
+  EXPECT_THROW(a.merge(b), ConfigError);
+}
+
+TEST(DenseBitsetTest, IntersectionCount) {
+  DenseBitset a(300), b(300);
+  for (std::size_t i = 0; i < 300; i += 3) a.set(i);
+  for (std::size_t i = 0; i < 300; i += 5) b.set(i);
+  // multiples of 15 under 300: 0,15,...,285 → 20 values.
+  EXPECT_EQ(a.intersection_count(b), 20u);
+}
+
+TEST(DenseBitsetTest, ClearResets) {
+  DenseBitset b(64);
+  for (std::size_t i = 0; i < 64; ++i) b.set(i);
+  b.clear();
+  EXPECT_EQ(b.count(), 0u);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DenseBitsetTest, CountTracksRandomOperations) {
+  Rng rng(9);
+  DenseBitset b(512);
+  std::vector<bool> model(512, false);
+  for (int op = 0; op < 5000; ++op) {
+    const std::size_t i = rng.index(512);
+    if (rng.bernoulli(0.6)) {
+      b.set(i);
+      model[i] = true;
+    } else {
+      b.reset(i);
+      model[i] = false;
+    }
+  }
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < 512; ++i) {
+    EXPECT_EQ(b.test(i), model[i]);
+    if (model[i]) ++expected;
+  }
+  EXPECT_EQ(b.count(), expected);
+}
+
+TEST(DenseBitsetTest, EqualityComparesContents) {
+  DenseBitset a(20), b(20);
+  EXPECT_EQ(a, b);
+  a.set(3);
+  EXPECT_NE(a, b);
+  b.set(3);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace agentnet

@@ -1,0 +1,90 @@
+#include "common/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+namespace {
+
+TEST(OptionsTest, ParsesKeyValuePairs) {
+  auto opts = Options::parse({"nodes=300", "policy=random"});
+  EXPECT_EQ(opts.get_int("nodes", 0), 300);
+  EXPECT_EQ(opts.get_string("policy", ""), "random");
+}
+
+TEST(OptionsTest, ArgvOverloadSkipsProgramName) {
+  const char* argv[] = {"prog", "runs=4"};
+  auto opts = Options::parse(2, argv);
+  EXPECT_EQ(opts.get_int("runs", 0), 4);
+}
+
+TEST(OptionsTest, FallbacksWhenAbsent) {
+  auto opts = Options::parse({});
+  EXPECT_EQ(opts.get_int("nodes", 42), 42);
+  EXPECT_EQ(opts.get_string("policy", "x"), "x");
+  EXPECT_DOUBLE_EQ(opts.get_double("p", 0.5), 0.5);
+  EXPECT_TRUE(opts.get_bool("flag", true));
+}
+
+TEST(OptionsTest, BareTokenIsTrueFlag) {
+  auto opts = Options::parse({"verbose"});
+  EXPECT_TRUE(opts.get_bool("verbose", false));
+}
+
+TEST(OptionsTest, BoolFormsAccepted) {
+  auto opts = Options::parse({"a=YES", "b=off", "c=1", "d=False"});
+  EXPECT_TRUE(opts.get_bool("a", false));
+  EXPECT_FALSE(opts.get_bool("b", true));
+  EXPECT_TRUE(opts.get_bool("c", false));
+  EXPECT_FALSE(opts.get_bool("d", true));
+}
+
+TEST(OptionsTest, EmptyValueAllowed) {
+  auto opts = Options::parse({"csv="});
+  EXPECT_EQ(opts.get_string("csv", "x"), "");
+}
+
+TEST(OptionsTest, HasDoesNotMarkQueried) {
+  auto opts = Options::parse({"nodes=10"});
+  EXPECT_TRUE(opts.has("nodes"));
+  EXPECT_EQ(opts.unrecognized().size(), 1u);
+}
+
+TEST(OptionsTest, RejectsBadNumbers) {
+  auto opts = Options::parse({"n=12x", "d=zz", "b=maybe"});
+  EXPECT_THROW(opts.get_int("n", 0), ConfigError);
+  EXPECT_THROW(opts.get_double("d", 0.0), ConfigError);
+  EXPECT_THROW(opts.get_bool("b", false), ConfigError);
+}
+
+TEST(OptionsTest, RejectsDuplicateKey) {
+  EXPECT_THROW(Options::parse({"a=1", "a=2"}), ConfigError);
+}
+
+TEST(OptionsTest, RejectsEmptyKey) {
+  EXPECT_THROW(Options::parse({"=v"}), ConfigError);
+}
+
+TEST(OptionsTest, UnrecognizedListsOnlyUnqueried) {
+  auto opts = Options::parse({"a=1", "b=2", "c=3"});
+  opts.get_int("a", 0);
+  opts.get_int("c", 0);
+  const auto stray = opts.unrecognized();
+  ASSERT_EQ(stray.size(), 1u);
+  EXPECT_EQ(stray[0], "b");
+}
+
+TEST(OptionsTest, FinishThrowsOnStrayKeys) {
+  auto opts = Options::parse({"tyop=1"});
+  EXPECT_THROW(opts.finish(), ConfigError);
+}
+
+TEST(OptionsTest, FinishPassesWhenAllQueried) {
+  auto opts = Options::parse({"a=1"});
+  opts.get_int("a", 0);
+  EXPECT_NO_THROW(opts.finish());
+}
+
+}  // namespace
+}  // namespace agentnet

@@ -1,0 +1,132 @@
+#include "core/map_knowledge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+namespace {
+
+TEST(MapKnowledgeTest, StartsEmpty) {
+  MapKnowledge k(5);
+  EXPECT_EQ(k.known_edge_count(), 0u);
+  EXPECT_EQ(k.first_hand_edge_count(), 0u);
+  for (NodeId v = 0; v < 5; ++v)
+    EXPECT_EQ(k.last_visit_first_hand(v), kNeverVisited);
+}
+
+TEST(MapKnowledgeTest, ObserveRecordsEdgesAndVisit) {
+  MapKnowledge k(5);
+  const std::vector<NodeId> out{1, 3};
+  k.observe_node(0, out, 7);
+  EXPECT_TRUE(k.knows_edge(0, 1));
+  EXPECT_TRUE(k.knows_edge_first_hand(0, 3));
+  EXPECT_FALSE(k.knows_edge(1, 0));
+  EXPECT_EQ(k.known_edge_count(), 2u);
+  EXPECT_EQ(k.last_visit_first_hand(0), 7);
+  EXPECT_EQ(k.last_visit_any(0), 7);
+}
+
+TEST(MapKnowledgeTest, RepeatObservationDoesNotDoubleCount) {
+  MapKnowledge k(4);
+  const std::vector<NodeId> out{1};
+  k.observe_node(0, out, 1);
+  k.observe_node(0, out, 5);
+  EXPECT_EQ(k.known_edge_count(), 1u);
+  EXPECT_EQ(k.last_visit_first_hand(0), 5);
+}
+
+TEST(MapKnowledgeTest, LearnFromKeepsHandsSeparate) {
+  MapKnowledge a(4), b(4);
+  const std::vector<NodeId> out_b{2};
+  b.observe_node(1, out_b, 3);
+  a.learn_from(b);
+  EXPECT_TRUE(a.knows_edge(1, 2));
+  EXPECT_FALSE(a.knows_edge_first_hand(1, 2))
+      << "peer knowledge must land in the second-hand store";
+  EXPECT_EQ(a.first_hand_edge_count(), 0u);
+  EXPECT_EQ(a.known_edge_count(), 1u);
+}
+
+TEST(MapKnowledgeTest, LearnFromPropagatesVisitTimes) {
+  MapKnowledge a(4), b(4);
+  const std::vector<NodeId> none{};
+  b.observe_node(2, none, 9);
+  a.learn_from(b);
+  EXPECT_EQ(a.last_visit_any(2), 9);
+  EXPECT_EQ(a.last_visit_first_hand(2), kNeverVisited);
+}
+
+TEST(MapKnowledgeTest, LearnFromTakesMaxVisitTime) {
+  MapKnowledge a(4), b(4);
+  const std::vector<NodeId> none{};
+  a.observe_node(2, none, 10);
+  b.observe_node(2, none, 4);
+  a.learn_from(b);
+  EXPECT_EQ(a.last_visit_any(2), 10);
+}
+
+TEST(MapKnowledgeTest, TransitiveSecondHandSpreads) {
+  // a learns from b who learned from c: c's edge reaches a.
+  MapKnowledge a(4), b(4), c(4);
+  const std::vector<NodeId> out{0};
+  c.observe_node(3, out, 1);
+  b.learn_from(c);
+  a.learn_from(b);
+  EXPECT_TRUE(a.knows_edge(3, 0));
+}
+
+TEST(MapKnowledgeTest, LearnUnionMatchesLearnFrom) {
+  MapKnowledge a1(4), a2(4), b(4);
+  const std::vector<NodeId> out{1, 2};
+  b.observe_node(0, out, 6);
+  a1.learn_from(b);
+  a2.learn_union(b.combined_edges(), b.any_visits());
+  EXPECT_EQ(a1.known_edge_count(), a2.known_edge_count());
+  EXPECT_EQ(a1.last_visit_any(0), a2.last_visit_any(0));
+}
+
+TEST(MapKnowledgeTest, CompletenessFraction) {
+  MapKnowledge k(4);
+  const std::vector<NodeId> out{1, 2};
+  k.observe_node(0, out, 0);
+  EXPECT_DOUBLE_EQ(k.completeness(4), 0.5);
+  EXPECT_DOUBLE_EQ(k.completeness(0), 1.0);
+}
+
+TEST(MapKnowledgeTest, KnownEdgeCountInIgnoresVanishedEdges) {
+  MapKnowledge k(3);
+  const std::vector<NodeId> out{1, 2};
+  k.observe_node(0, out, 0);
+  Graph truth(3);
+  truth.add_edge(0, 1);  // 0→2 no longer exists
+  EXPECT_EQ(k.known_edge_count_in(truth), 1u);
+  EXPECT_EQ(k.known_edge_count(), 2u);
+}
+
+TEST(MapKnowledgeTest, SerializedSizeTracksContents) {
+  MapKnowledge k(6);
+  EXPECT_EQ(k.serialized_size_bytes(), 0u);
+  const std::vector<NodeId> out{1, 2, 3};
+  k.observe_node(0, out, 5);
+  // 3 edges x 8 bytes + 1 visited node x 12 bytes.
+  EXPECT_EQ(k.serialized_size_bytes(), 3u * 8 + 12);
+  // Second-hand knowledge counts too (the agent carries it when moving).
+  MapKnowledge peer(6);
+  const std::vector<NodeId> peer_out{0};
+  peer.observe_node(4, peer_out, 1);
+  k.learn_from(peer);
+  EXPECT_EQ(k.serialized_size_bytes(), 4u * 8 + 2 * 12);
+}
+
+TEST(MapKnowledgeTest, SizeMismatchThrows) {
+  MapKnowledge a(3), b(4);
+  EXPECT_THROW(a.learn_from(b), ConfigError);
+}
+
+TEST(MapKnowledgeTest, RejectsZeroNodes) {
+  EXPECT_THROW(MapKnowledge(0), ConfigError);
+}
+
+}  // namespace
+}  // namespace agentnet

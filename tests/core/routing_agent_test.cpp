@@ -1,0 +1,248 @@
+#include "core/routing_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace agentnet {
+namespace {
+
+// Line 0-1-2-3-4 (bidirectional), gateway at node 0.
+Graph line_graph() {
+  Graph g(5);
+  for (NodeId i = 0; i + 1 < 5; ++i) g.add_undirected_edge(i, i + 1);
+  return g;
+}
+
+const std::vector<bool> kGateway0{true, false, false, false, false};
+
+RoutingAgent make_agent(RoutingPolicy policy, std::size_t history = 10,
+                        NodeId start = 0, std::uint64_t seed = 1) {
+  RoutingAgentConfig cfg;
+  cfg.policy = policy;
+  cfg.history_size = history;
+  return RoutingAgent(0, start, cfg, Rng(seed));
+}
+
+TEST(RoutingAgentTest, ArriveAtGatewayRefreshesHint) {
+  auto agent = make_agent(RoutingPolicy::kRandom);
+  agent.arrive(kGateway0, 3);
+  EXPECT_TRUE(agent.hint().valid());
+  EXPECT_EQ(agent.hint().gateway, 0u);
+  EXPECT_EQ(agent.hint().hops, 0u);
+  EXPECT_EQ(agent.hint().updated, 3u);
+}
+
+TEST(RoutingAgentTest, ArriveAtOrdinaryNodeKeepsHintInvalid) {
+  auto agent = make_agent(RoutingPolicy::kRandom, 10, 2);
+  agent.arrive(kGateway0, 0);
+  EXPECT_FALSE(agent.hint().valid());
+}
+
+TEST(RoutingAgentTest, HintGrowsWithMoves) {
+  auto agent = make_agent(RoutingPolicy::kRandom);
+  agent.arrive(kGateway0, 0);
+  agent.move_to(1);
+  EXPECT_EQ(agent.hint().hops, 1u);
+  EXPECT_EQ(agent.hint().next_hop, 0u);
+  agent.move_to(2);
+  EXPECT_EQ(agent.hint().hops, 2u);
+  EXPECT_EQ(agent.hint().next_hop, 1u);
+}
+
+TEST(RoutingAgentTest, WaitingInPlaceDoesNotGrowHint) {
+  auto agent = make_agent(RoutingPolicy::kRandom);
+  agent.arrive(kGateway0, 0);
+  agent.move_to(1);
+  agent.move_to(1);  // stays
+  EXPECT_EQ(agent.hint().hops, 1u);
+}
+
+TEST(RoutingAgentTest, HintExpiresPastHistorySize) {
+  auto agent = make_agent(RoutingPolicy::kRandom, 2);
+  agent.arrive(kGateway0, 0);
+  agent.move_to(1);
+  agent.move_to(2);
+  EXPECT_TRUE(agent.hint().valid());
+  agent.move_to(3);  // hops would be 3 > history 2
+  EXPECT_FALSE(agent.hint().valid());
+}
+
+TEST(RoutingAgentTest, InstallWritesReversePath) {
+  auto agent = make_agent(RoutingPolicy::kRandom);
+  agent.arrive(kGateway0, 0);
+  agent.move_to(1);
+  RoutingTables tables(5);
+  EXPECT_TRUE(agent.install(tables, kGateway0, 1));
+  const auto& e = tables.entry(1);
+  EXPECT_EQ(e.next_hop, 0u);
+  EXPECT_EQ(e.gateway, 0u);
+  EXPECT_EQ(e.hops, 1u);
+  EXPECT_EQ(e.installed_at, 1u);
+}
+
+TEST(RoutingAgentTest, NoInstallWithoutHint) {
+  auto agent = make_agent(RoutingPolicy::kRandom, 10, 2);
+  RoutingTables tables(5);
+  EXPECT_FALSE(agent.install(tables, kGateway0, 0));
+  EXPECT_FALSE(tables.entry(2).valid());
+}
+
+TEST(RoutingAgentTest, NoInstallAtGateway) {
+  auto agent = make_agent(RoutingPolicy::kRandom);
+  agent.arrive(kGateway0, 0);
+  RoutingTables tables(5);
+  EXPECT_FALSE(agent.install(tables, kGateway0, 0));
+}
+
+TEST(RoutingAgentTest, HistoryRemembersVisits) {
+  auto agent = make_agent(RoutingPolicy::kOldestNode, 10, 2);
+  agent.arrive(kGateway0, 4);
+  ASSERT_TRUE(agent.history().contains(2));
+  EXPECT_EQ(agent.history().at(2), 4u);
+}
+
+TEST(RoutingAgentTest, HistoryEvictsOldestWhenFull) {
+  auto agent = make_agent(RoutingPolicy::kOldestNode, 2, 0);
+  agent.arrive(kGateway0, 0);  // history {0}
+  agent.move_to(1);
+  agent.arrive(kGateway0, 1);  // {0,1}
+  agent.move_to(2);
+  agent.arrive(kGateway0, 2);  // {1,2} — 0 evicted
+  EXPECT_FALSE(agent.history().contains(0));
+  EXPECT_TRUE(agent.history().contains(1));
+  EXPECT_TRUE(agent.history().contains(2));
+}
+
+TEST(RoutingAgentTest, OldestNodePrefersNeverVisited) {
+  const Graph g = line_graph();
+  StigmergyBoard board(5);
+  auto agent = make_agent(RoutingPolicy::kOldestNode, 10, 1);
+  agent.arrive(kGateway0, 0);   // visited 1
+  agent.move_to(0);
+  agent.arrive(kGateway0, 1);   // visited 0
+  agent.move_to(1);
+  agent.arrive(kGateway0, 2);
+  // At node 1, neighbours are 0 (visited t=1) and 2 (never): must pick 2.
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(agent.decide(g, board, 3), 2u);
+}
+
+TEST(RoutingAgentTest, OldestNodePicksOldestAmongVisited) {
+  const Graph g = line_graph();
+  StigmergyBoard board(5);
+  auto agent = make_agent(RoutingPolicy::kOldestNode, 10, 1);
+  // Visit 0 at t=0 and 2 at t=5, stand at 1.
+  agent.move_to(0);
+  agent.arrive(kGateway0, 0);
+  agent.move_to(1);
+  agent.arrive(kGateway0, 1);
+  agent.move_to(2);
+  agent.arrive(kGateway0, 5);
+  agent.move_to(1);
+  agent.arrive(kGateway0, 6);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(agent.decide(g, board, 7), 0u);
+}
+
+TEST(RoutingAgentTest, ForgettingMakesNodeAttractiveAgain) {
+  const Graph g = line_graph();
+  StigmergyBoard board(5);
+  auto agent = make_agent(RoutingPolicy::kOldestNode, 1, 1);
+  // History of size 1: visiting 2 evicts 0.
+  agent.move_to(0);
+  agent.arrive(kGateway0, 0);
+  agent.move_to(2);
+  agent.arrive(kGateway0, 1);  // history {2}
+  agent.move_to(1);
+  agent.arrive(kGateway0, 2);  // history {1}
+  // At 1: neighbour 0 forgotten (never in history now), 2 remembered? also
+  // evicted. Both forgotten → either acceptable; just ensure no crash and a
+  // neighbour is returned.
+  const NodeId target = agent.decide(g, board, 3);
+  EXPECT_TRUE(target == 0u || target == 2u);
+}
+
+TEST(RoutingAgentTest, RandomPolicyCoversNeighbors) {
+  const Graph g = line_graph();
+  StigmergyBoard board(5);
+  auto agent = make_agent(RoutingPolicy::kRandom, 10, 1);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(agent.decide(g, board, 0));
+  EXPECT_EQ(seen, (std::set<NodeId>{0, 2}));
+}
+
+TEST(RoutingAgentTest, IsolatedNodeWaits) {
+  Graph g(5);  // no edges
+  StigmergyBoard board(5);
+  auto agent = make_agent(RoutingPolicy::kOldestNode, 10, 3);
+  EXPECT_EQ(agent.decide(g, board, 0), 3u);
+}
+
+TEST(RoutingAgentTest, HintBetterOrdering) {
+  using Hint = RoutingAgent::RouteHint;
+  const Hint invalid{};
+  const Hint short_old{0, 2, 1, 5};
+  const Hint long_fresh{0, 7, 1, 9};
+  const Hint short_fresh{0, 2, 1, 9};
+  EXPECT_TRUE(RoutingAgent::hint_better(short_old, invalid));
+  EXPECT_FALSE(RoutingAgent::hint_better(invalid, short_old));
+  EXPECT_TRUE(RoutingAgent::hint_better(short_old, long_fresh));
+  EXPECT_TRUE(RoutingAgent::hint_better(short_fresh, short_old));
+  EXPECT_FALSE(RoutingAgent::hint_better(invalid, invalid));
+}
+
+TEST(RoutingAgentTest, AdoptTakesBetterHintOnly) {
+  auto agent = make_agent(RoutingPolicy::kRandom);
+  agent.arrive(kGateway0, 0);
+  agent.move_to(1);  // hint hops=1
+  RoutingAgent::RouteHint worse{0, 5, 2, 0};
+  agent.adopt(worse, {});
+  EXPECT_EQ(agent.hint().hops, 1u);
+  RoutingAgent::RouteHint better{0, 0, kInvalidNode, 9};
+  agent.adopt(better, {});
+  EXPECT_EQ(agent.hint().hops, 0u);
+}
+
+TEST(RoutingAgentTest, AdoptMergesHistoriesWithMax) {
+  auto agent = make_agent(RoutingPolicy::kOldestNode, 10, 1);
+  agent.arrive(kGateway0, 5);  // knows 1@5
+  std::map<NodeId, std::size_t> peer{{1, 2}, {3, 7}};
+  agent.adopt(RoutingAgent::RouteHint{}, peer);
+  EXPECT_EQ(agent.history().at(1), 5u) << "max of own and peer time";
+  EXPECT_EQ(agent.history().at(3), 7u);
+}
+
+TEST(RoutingAgentTest, AdoptRespectsHistoryBound) {
+  auto agent = make_agent(RoutingPolicy::kOldestNode, 2, 1);
+  agent.arrive(kGateway0, 10);  // knows 1@10
+  std::map<NodeId, std::size_t> peer{{2, 8}, {3, 9}, {4, 1}};
+  agent.adopt(RoutingAgent::RouteHint{}, peer);
+  EXPECT_EQ(agent.history().size(), 2u);
+  // The freshest two survive: 1@10 and 3@9.
+  EXPECT_TRUE(agent.history().contains(1));
+  EXPECT_TRUE(agent.history().contains(3));
+}
+
+TEST(RoutingAgentTest, StigmergicDecisionAvoidsFootprints) {
+  const Graph g = line_graph();
+  StigmergyBoard board(5);
+  RoutingAgentConfig cfg;
+  cfg.policy = RoutingPolicy::kRandom;
+  cfg.stigmergy = StigmergyMode::kFilterFirst;
+  RoutingAgent agent(0, 1, cfg, Rng(1));
+  board.stamp(1, 0, 0);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(agent.decide(g, board, 0), 2u);
+}
+
+TEST(RoutingAgentTest, RejectsZeroHistory) {
+  RoutingAgentConfig cfg;
+  cfg.history_size = 0;
+  EXPECT_THROW(RoutingAgent(0, 0, cfg, Rng(1)), ConfigError);
+}
+
+TEST(RoutingAgentTest, ToStringNames) {
+  EXPECT_STREQ(to_string(RoutingPolicy::kRandom), "random");
+  EXPECT_STREQ(to_string(RoutingPolicy::kOldestNode), "oldest-node");
+}
+
+}  // namespace
+}  // namespace agentnet

@@ -1,0 +1,196 @@
+#include "core/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace agentnet {
+namespace {
+
+const std::vector<NodeId> kNeighbors{3, 5, 8, 11};
+
+std::int64_t zero_key(NodeId) { return 0; }
+
+TEST(SelectionTest, EmptyNeighborsGivesInvalid) {
+  StigmergyBoard board(16);
+  Rng rng(1);
+  EXPECT_EQ(select_target(std::span<const NodeId>{}, zero_key,
+                          StigmergyMode::kOff, board, 0, 0, rng),
+            kInvalidNode);
+}
+
+TEST(SelectionTest, SingleNeighborAlwaysChosen) {
+  StigmergyBoard board(16);
+  Rng rng(2);
+  const std::vector<NodeId> one{7};
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(select_target(std::span<const NodeId>(one), zero_key,
+                            StigmergyMode::kOff, board, 0, 0, rng),
+              7u);
+}
+
+TEST(SelectionTest, MinimiserWinsRegardlessOfOrder) {
+  StigmergyBoard board(16);
+  Rng rng(3);
+  auto key = [](NodeId v) {
+    return v == 8 ? std::int64_t{-5} : static_cast<std::int64_t>(v);
+  };
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(select_target(std::span<const NodeId>(kNeighbors), key,
+                            StigmergyMode::kOff, board, 0, 0, rng),
+              8u);
+}
+
+TEST(SelectionTest, RandomTieBreakCoversAllMinimisers) {
+  StigmergyBoard board(16);
+  Rng rng(4);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 300; ++i)
+    seen.insert(select_target(std::span<const NodeId>(kNeighbors), zero_key,
+                              StigmergyMode::kOff, board, 0, 0, rng,
+                              TieBreak::kRandom));
+  EXPECT_EQ(seen.size(), kNeighbors.size());
+}
+
+TEST(SelectionTest, RandomTieBreakIsRoughlyUniform) {
+  StigmergyBoard board(16);
+  Rng rng(5);
+  std::map<NodeId, int> counts;
+  const int trials = 8000;
+  for (int i = 0; i < trials; ++i)
+    ++counts[select_target(std::span<const NodeId>(kNeighbors), zero_key,
+                           StigmergyMode::kOff, board, 0, 0, rng,
+                           TieBreak::kRandom)];
+  for (NodeId v : kNeighbors) {
+    EXPECT_GT(counts[v], trials / 4 - 300);
+    EXPECT_LT(counts[v], trials / 4 + 300);
+  }
+}
+
+TEST(SelectionTest, SharedHashIdenticalContextIdenticalPick) {
+  StigmergyBoard board(16);
+  Rng rng_a(6), rng_b(777);  // different private randomness must not matter
+  const NodeId a = select_target(std::span<const NodeId>(kNeighbors),
+                                 zero_key, StigmergyMode::kOff, board, 2, 9,
+                                 rng_a, TieBreak::kSharedHash);
+  const NodeId b = select_target(std::span<const NodeId>(kNeighbors),
+                                 zero_key, StigmergyMode::kOff, board, 2, 9,
+                                 rng_b, TieBreak::kSharedHash);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SelectionTest, SharedHashVariesAcrossSteps) {
+  StigmergyBoard board(16);
+  Rng rng(7);
+  std::set<NodeId> seen;
+  for (std::size_t now = 0; now < 50; ++now)
+    seen.insert(select_target(std::span<const NodeId>(kNeighbors), zero_key,
+                              StigmergyMode::kOff, board, 2, now, rng,
+                              TieBreak::kSharedHash));
+  EXPECT_GT(seen.size(), 2u) << "the pick must not be pinned to one node";
+}
+
+TEST(SelectionTest, SharedHashVariesAcrossNodes) {
+  StigmergyBoard board(64);
+  Rng rng(8);
+  std::set<NodeId> seen;
+  for (NodeId at = 0; at < 50; ++at)
+    seen.insert(select_target(std::span<const NodeId>(kNeighbors), zero_key,
+                              StigmergyMode::kOff, board, at, 3, rng,
+                              TieBreak::kSharedHash));
+  EXPECT_GT(seen.size(), 2u);
+}
+
+TEST(SelectionTest, SharedHashSensitiveToKeyContext) {
+  // Same tie set, different non-minimal key elsewhere: the picks should
+  // decorrelate (this is what keeps merely-similar agents from herding).
+  StigmergyBoard board(16);
+  Rng rng(9);
+  int agree = 0;
+  for (std::size_t now = 0; now < 200; ++now) {
+    auto key1 = [](NodeId v) {
+      return static_cast<std::int64_t>(v == 11 ? 50 : 0);
+    };
+    auto key2 = [](NodeId v) {
+      return static_cast<std::int64_t>(v == 11 ? 60 : 0);
+    };
+    const NodeId a = select_target(std::span<const NodeId>(kNeighbors), key1,
+                                   StigmergyMode::kOff, board, 2, now, rng,
+                                   TieBreak::kSharedHash);
+    const NodeId b = select_target(std::span<const NodeId>(kNeighbors), key2,
+                                   StigmergyMode::kOff, board, 2, now, rng,
+                                   TieBreak::kSharedHash);
+    if (a == b) ++agree;
+  }
+  // Tie sets are {3,5,8}: blind chance agreement is ~1/3 of 200 ≈ 67.
+  EXPECT_LT(agree, 140);
+  EXPECT_GT(agree, 20);
+}
+
+TEST(SelectionTest, SharedHashRoughlyUniformOverNodesAndSteps) {
+  StigmergyBoard board(16);
+  Rng rng(10);
+  std::map<NodeId, int> counts;
+  const int trials = 8000;
+  for (int i = 0; i < trials; ++i)
+    ++counts[select_target(std::span<const NodeId>(kNeighbors), zero_key,
+                           StigmergyMode::kOff, board, 2,
+                           static_cast<std::size_t>(i), rng,
+                           TieBreak::kSharedHash)];
+  for (NodeId v : kNeighbors) {
+    EXPECT_GT(counts[v], trials / 4 - 300);
+    EXPECT_LT(counts[v], trials / 4 + 300);
+  }
+}
+
+TEST(SelectionTest, FilterFirstPrefersUnmarked) {
+  StigmergyBoard board(16, 0, 4);
+  board.stamp(2, 3, 0);
+  board.stamp(2, 5, 0);
+  board.stamp(2, 8, 0);
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(select_target(std::span<const NodeId>(kNeighbors), zero_key,
+                            StigmergyMode::kFilterFirst, board, 2, 0, rng),
+              11u);
+}
+
+TEST(SelectionTest, FilterFirstFallsBackWhenAllMarked) {
+  StigmergyBoard board(16, 0, 4);
+  for (NodeId v : kNeighbors) board.stamp(2, v, 0);
+  Rng rng(12);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 200; ++i)
+    seen.insert(select_target(std::span<const NodeId>(kNeighbors), zero_key,
+                              StigmergyMode::kFilterFirst, board, 2, 0, rng));
+  EXPECT_EQ(seen.size(), kNeighbors.size());
+}
+
+TEST(SelectionTest, TieBreakModeOnlyAffectsTies) {
+  StigmergyBoard board(16, 0, 4);
+  board.stamp(2, 8, 0);  // mark the unique minimiser
+  auto key = [](NodeId v) { return static_cast<std::int64_t>(v == 8 ? -1 : 0); };
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(select_target(std::span<const NodeId>(kNeighbors), key,
+                            StigmergyMode::kTieBreak, board, 2, 0, rng),
+              8u)
+        << "unique minimiser wins even when marked";
+}
+
+TEST(SelectionTest, ExpiredFootprintsIgnored) {
+  StigmergyBoard board(16, 5, 4);
+  board.stamp(2, 11, 0);
+  Rng rng(14);
+  bool saw_11 = false;
+  for (int i = 0; i < 100; ++i)
+    saw_11 |= select_target(std::span<const NodeId>(kNeighbors), zero_key,
+                            StigmergyMode::kFilterFirst, board, 2, 100,
+                            rng) == 11u;
+  EXPECT_TRUE(saw_11) << "footprint expired at t=5, must not bias t=100";
+}
+
+}  // namespace
+}  // namespace agentnet

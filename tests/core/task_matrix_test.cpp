@@ -1,0 +1,171 @@
+// Design-matrix property suites: every combination of agent design knobs
+// must satisfy the task invariants. These parameterized sweeps are the
+// regression net under the figure benches — if a future change breaks one
+// corner of the design space, the matrix points at the exact combination.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/mapping_task.hpp"
+#include "core/routing_task.hpp"
+#include "net/generators.hpp"
+
+namespace agentnet {
+namespace {
+
+// ---- Mapping matrix ---------------------------------------------------------
+
+using MappingCombo = std::tuple<MappingPolicy, StigmergyMode, int>;
+
+class MappingMatrixTest : public ::testing::TestWithParam<MappingCombo> {
+ protected:
+  static const GeneratedNetwork& network() {
+    static const GeneratedNetwork net = [] {
+      TargetEdgeParams params;
+      params.geometry.node_count = 50;
+      params.target_edges = 320;
+      params.tolerance = 0.05;
+      return generate_target_edge_network(params, 99);
+    }();
+    return net;
+  }
+
+  static MappingTaskConfig config(const MappingCombo& combo) {
+    MappingTaskConfig cfg;
+    cfg.agent.policy = std::get<0>(combo);
+    cfg.agent.stigmergy = std::get<1>(combo);
+    cfg.population = std::get<2>(combo);
+    cfg.max_steps = 200000;
+    return cfg;
+  }
+};
+
+TEST_P(MappingMatrixTest, FinishesWithPerfectTeamKnowledge) {
+  World world = World::frozen(network());
+  const auto result = run_mapping_task(world, config(GetParam()), Rng(1));
+  ASSERT_TRUE(result.finished);
+  EXPECT_DOUBLE_EQ(result.min_knowledge.back(), 1.0);
+  EXPECT_DOUBLE_EQ(result.mean_knowledge.back(), 1.0);
+}
+
+TEST_P(MappingMatrixTest, KnowledgeMonotoneAndBounded) {
+  World world = World::frozen(network());
+  const auto result = run_mapping_task(world, config(GetParam()), Rng(2));
+  for (std::size_t t = 0; t < result.mean_knowledge.size(); ++t) {
+    ASSERT_GE(result.mean_knowledge[t], 0.0);
+    ASSERT_LE(result.mean_knowledge[t], 1.0 + 1e-12);
+    ASSERT_LE(result.min_knowledge[t], result.mean_knowledge[t] + 1e-12);
+    if (t > 0) {
+      ASSERT_GE(result.mean_knowledge[t],
+                result.mean_knowledge[t - 1] - 1e-12)
+          << "static network: knowledge can never shrink";
+    }
+  }
+}
+
+TEST_P(MappingMatrixTest, DeterministicInSeed) {
+  World w1 = World::frozen(network());
+  World w2 = World::frozen(network());
+  const auto a = run_mapping_task(w1, config(GetParam()), Rng(3));
+  const auto b = run_mapping_task(w2, config(GetParam()), Rng(3));
+  EXPECT_EQ(a.finishing_time, b.finishing_time);
+  EXPECT_EQ(a.migration_bytes, b.migration_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, MappingMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(MappingPolicy::kRandom,
+                          MappingPolicy::kConscientious,
+                          MappingPolicy::kSuperConscientious),
+        ::testing::Values(StigmergyMode::kOff, StigmergyMode::kFilterFirst,
+                          StigmergyMode::kTieBreak),
+        ::testing::Values(1, 8)),
+    [](const ::testing::TestParamInfo<MappingCombo>& info) {
+      std::string name = to_string(std::get<0>(info.param));
+      name += std::get<1>(info.param) == StigmergyMode::kOff ? "_plain"
+              : std::get<1>(info.param) == StigmergyMode::kFilterFirst
+                  ? "_filter"
+                  : "_tiebreak";
+      name += "_pop" + std::to_string(std::get<2>(info.param));
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// ---- Routing matrix ---------------------------------------------------------
+
+using RoutingCombo = std::tuple<RoutingPolicy, bool, StigmergyMode>;
+
+class RoutingMatrixTest : public ::testing::TestWithParam<RoutingCombo> {
+ protected:
+  static const RoutingScenario& scenario() {
+    static const RoutingScenario s = [] {
+      RoutingScenarioParams params;
+      params.node_count = 70;
+      params.gateway_count = 5;
+      params.bounds = {{0.0, 0.0}, {450.0, 450.0}};
+      params.node_range = 95.0;
+      params.trace_steps = 100;
+      return RoutingScenario(params, 77);
+    }();
+    return s;
+  }
+
+  static RoutingTaskConfig config(const RoutingCombo& combo) {
+    RoutingTaskConfig cfg;
+    cfg.population = 25;
+    cfg.agent.policy = std::get<0>(combo);
+    cfg.agent.communicate = std::get<1>(combo);
+    cfg.agent.stigmergy = std::get<2>(combo);
+    cfg.steps = 100;
+    cfg.measure_from = 50;
+    cfg.record_oracle = true;
+    return cfg;
+  }
+};
+
+TEST_P(RoutingMatrixTest, ConnectivityBoundedAndNontrivial) {
+  const auto result = run_routing_task(scenario(), config(GetParam()),
+                                       Rng(4));
+  for (std::size_t t = 0; t < result.connectivity.size(); ++t) {
+    ASSERT_GE(result.connectivity[t], 0.0);
+    ASSERT_LE(result.connectivity[t], result.oracle[t] + 1e-12)
+        << "no design may beat the physical oracle (step " << t << ")";
+  }
+  EXPECT_GT(result.mean_connectivity, 0.1)
+      << "every design must achieve some routing";
+}
+
+TEST_P(RoutingMatrixTest, DeterministicInSeed) {
+  const auto a = run_routing_task(scenario(), config(GetParam()), Rng(5));
+  const auto b = run_routing_task(scenario(), config(GetParam()), Rng(5));
+  EXPECT_EQ(a.connectivity, b.connectivity);
+  EXPECT_EQ(a.migration_bytes, b.migration_bytes);
+}
+
+TEST_P(RoutingMatrixTest, MigrationBytesPositive) {
+  const auto result = run_routing_task(scenario(), config(GetParam()),
+                                       Rng(6));
+  EXPECT_GT(result.migration_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, RoutingMatrixTest,
+    ::testing::Combine(::testing::Values(RoutingPolicy::kRandom,
+                                         RoutingPolicy::kOldestNode),
+                       ::testing::Bool(),
+                       ::testing::Values(StigmergyMode::kOff,
+                                         StigmergyMode::kFilterFirst)),
+    [](const ::testing::TestParamInfo<RoutingCombo>& info) {
+      std::string name = to_string(std::get<0>(info.param));
+      name += std::get<1>(info.param) ? "_visiting" : "_solo";
+      name += std::get<2>(info.param) == StigmergyMode::kOff ? "_plain"
+                                                             : "_stig";
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace agentnet

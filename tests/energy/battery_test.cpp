@@ -1,0 +1,76 @@
+#include "energy/battery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+namespace {
+
+TEST(BatteryTest, StartsFull) {
+  Battery b({2.0, 0.1});
+  EXPECT_DOUBLE_EQ(b.charge(), 2.0);
+  EXPECT_DOUBLE_EQ(b.fraction(), 1.0);
+  EXPECT_FALSE(b.depleted());
+}
+
+TEST(BatteryTest, DrainsLinearly) {
+  Battery b({1.0, 0.25});
+  b.step();
+  EXPECT_DOUBLE_EQ(b.fraction(), 0.75);
+  b.step();
+  EXPECT_DOUBLE_EQ(b.fraction(), 0.5);
+}
+
+TEST(BatteryTest, NeverGoesNegative) {
+  Battery b({1.0, 0.4});
+  for (int i = 0; i < 10; ++i) b.step();
+  EXPECT_DOUBLE_EQ(b.charge(), 0.0);
+  EXPECT_TRUE(b.depleted());
+}
+
+TEST(BatteryTest, ZeroDrainIsMainsPower) {
+  Battery b({1.0, 0.0});
+  for (int i = 0; i < 1000; ++i) b.step();
+  EXPECT_DOUBLE_EQ(b.fraction(), 1.0);
+}
+
+TEST(BatteryTest, RejectsBadParams) {
+  EXPECT_THROW(Battery({0.0, 0.1}), ConfigError);
+  EXPECT_THROW(Battery({-1.0, 0.1}), ConfigError);
+  EXPECT_THROW(Battery({1.0, -0.1}), ConfigError);
+}
+
+TEST(BatteryBankTest, MaskSelectsWhoDrains) {
+  BatteryBank bank(3, {true, false, true}, {1.0, 0.5});
+  bank.step();
+  EXPECT_DOUBLE_EQ(bank.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(bank.fraction(1), 1.0);
+  EXPECT_DOUBLE_EQ(bank.fraction(2), 0.5);
+  EXPECT_TRUE(bank.on_battery(0));
+  EXPECT_FALSE(bank.on_battery(1));
+}
+
+TEST(BatteryBankTest, MainsNodesReportFullForever) {
+  BatteryBank bank(1, {false}, {1.0, 0.9});
+  for (int i = 0; i < 100; ++i) bank.step();
+  EXPECT_DOUBLE_EQ(bank.fraction(0), 1.0);
+}
+
+TEST(BatteryBankTest, RejectsMaskSizeMismatch) {
+  EXPECT_THROW(BatteryBank(3, {true, false}, {}), ConfigError);
+}
+
+TEST(BatteryBankTest, SizeReported) {
+  BatteryBank bank(5, std::vector<bool>(5, true), {1.0, 0.01});
+  EXPECT_EQ(bank.size(), 5u);
+}
+
+TEST(BatteryBankTest, BatteryAccessor) {
+  BatteryBank bank(2, {true, true}, {4.0, 1.0});
+  bank.step();
+  EXPECT_DOUBLE_EQ(bank.battery(0).charge(), 3.0);
+}
+
+}  // namespace
+}  // namespace agentnet

@@ -1,0 +1,165 @@
+#include "experiments/mapping_experiments.hpp"
+#include "experiments/routing_experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "experiments/paper.hpp"
+
+namespace agentnet {
+namespace {
+
+GeneratedNetwork tiny_network() {
+  TargetEdgeParams params;
+  params.geometry.node_count = 50;
+  params.target_edges = 260;
+  params.tolerance = 0.05;
+  return generate_target_edge_network(params, 3);
+}
+
+TEST(MappingExperimentTest, AggregatesRuns) {
+  const auto net = tiny_network();
+  MappingTaskConfig task;
+  task.population = 4;
+  task.agent = {MappingPolicy::kConscientious, StigmergyMode::kOff};
+  const auto summary = run_mapping_experiment(net, task, 5, 100);
+  EXPECT_EQ(summary.runs, 5);
+  EXPECT_EQ(summary.unfinished, 0);
+  EXPECT_EQ(summary.finishing_time.count(), 5u);
+  EXPECT_GT(summary.finishing_time.mean(), 0.0);
+  EXPECT_EQ(summary.knowledge.runs(), 5u);
+}
+
+TEST(MappingExperimentTest, SeriesPaddedToCommonLength) {
+  const auto net = tiny_network();
+  MappingTaskConfig task;
+  task.population = 2;
+  task.agent = {MappingPolicy::kRandom, StigmergyMode::kOff};
+  const auto summary = run_mapping_experiment(net, task, 4, 200);
+  // Each padded series ends at 1.0, so the final mean must be 1.0.
+  const auto mean = summary.knowledge.mean();
+  ASSERT_FALSE(mean.empty());
+  EXPECT_DOUBLE_EQ(mean.back(), 1.0);
+}
+
+TEST(MappingExperimentTest, DeterministicAcrossCalls) {
+  const auto net = tiny_network();
+  MappingTaskConfig task;
+  task.population = 3;
+  task.agent = {MappingPolicy::kConscientious, StigmergyMode::kFilterFirst};
+  const auto a = run_mapping_experiment(net, task, 3, 7);
+  const auto b = run_mapping_experiment(net, task, 3, 7);
+  EXPECT_DOUBLE_EQ(a.finishing_time.mean(), b.finishing_time.mean());
+}
+
+TEST(MappingExperimentTest, UnfinishedRunsCounted) {
+  const auto net = tiny_network();
+  MappingTaskConfig task;
+  task.population = 1;
+  task.agent = {MappingPolicy::kRandom, StigmergyMode::kOff};
+  task.max_steps = 3;
+  const auto summary = run_mapping_experiment(net, task, 3, 7);
+  EXPECT_EQ(summary.unfinished, 3);
+  EXPECT_EQ(summary.finishing_time.count(), 0u);
+}
+
+TEST(MappingExperimentTest, RejectsZeroRuns) {
+  const auto net = tiny_network();
+  EXPECT_THROW(run_mapping_experiment(net, {}, 0, 1), ConfigError);
+}
+
+TEST(SamplePointsTest, ShortSeriesKeptWhole) {
+  const auto pts = series_sample_points(5, 10);
+  ASSERT_EQ(pts.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(pts[i], i);
+}
+
+TEST(SamplePointsTest, LongSeriesDecimatedKeepsEnds) {
+  const auto pts = series_sample_points(1000, 11);
+  ASSERT_GE(pts.size(), 2u);
+  EXPECT_EQ(pts.front(), 0u);
+  EXPECT_EQ(pts.back(), 999u);
+  EXPECT_LE(pts.size(), 11u);
+  for (std::size_t i = 1; i < pts.size(); ++i) EXPECT_GT(pts[i], pts[i - 1]);
+}
+
+TEST(SamplePointsTest, EmptySeries) {
+  EXPECT_TRUE(series_sample_points(0, 5).empty());
+}
+
+TEST(RoutingExperimentTest, AggregatesRuns) {
+  RoutingScenarioParams params;
+  params.node_count = 60;
+  params.gateway_count = 4;
+  params.bounds = {{0.0, 0.0}, {400.0, 400.0}};
+  params.trace_steps = 80;
+  const RoutingScenario scenario(params, 9);
+  RoutingTaskConfig task;
+  task.population = 20;
+  task.steps = 80;
+  task.measure_from = 40;
+  task.record_oracle = true;
+  const auto summary = run_routing_experiment(scenario, task, 4, 50);
+  EXPECT_EQ(summary.runs, 4);
+  EXPECT_EQ(summary.mean_connectivity.count(), 4u);
+  EXPECT_EQ(summary.connectivity.runs(), 4u);
+  EXPECT_EQ(summary.connectivity.length(), 80u);
+  EXPECT_EQ(summary.oracle.runs(), 4u);
+  // Mean connectivity bounded by mean oracle at every step.
+  const auto conn = summary.connectivity.mean();
+  const auto oracle = summary.oracle.mean();
+  for (std::size_t t = 0; t < conn.size(); ++t)
+    EXPECT_LE(conn[t], oracle[t] + 1e-12);
+}
+
+TEST(RoutingExperimentTest, StabilityStatsPopulated) {
+  RoutingScenarioParams params;
+  params.node_count = 50;
+  params.gateway_count = 4;
+  params.bounds = {{0.0, 0.0}, {350.0, 350.0}};
+  params.trace_steps = 60;
+  const RoutingScenario scenario(params, 17);
+  RoutingTaskConfig task;
+  task.population = 15;
+  task.steps = 60;
+  task.measure_from = 30;
+  const auto summary = run_routing_experiment(scenario, task, 3, 70);
+  EXPECT_EQ(summary.window_stddev.count(), 3u);
+  EXPECT_GT(summary.window_stddev.mean(), 0.0)
+      << "a mobile network's connectivity must fluctuate";
+}
+
+TEST(RoutingExperimentTest, OracleEmptyWhenNotRequested) {
+  RoutingScenarioParams params;
+  params.node_count = 40;
+  params.gateway_count = 3;
+  params.bounds = {{0.0, 0.0}, {300.0, 300.0}};
+  params.trace_steps = 40;
+  const RoutingScenario scenario(params, 18);
+  RoutingTaskConfig task;
+  task.population = 10;
+  task.steps = 40;
+  task.measure_from = 20;
+  const auto summary = run_routing_experiment(scenario, task, 2, 71);
+  EXPECT_EQ(summary.oracle.runs(), 0u);
+}
+
+TEST(MappingExperimentTest, DifferentSeedBasesDiffer) {
+  const auto net = tiny_network();
+  MappingTaskConfig task;
+  task.population = 1;
+  task.agent = {MappingPolicy::kRandom, StigmergyMode::kOff};
+  task.record_series = false;
+  const auto a = run_mapping_experiment(net, task, 4, 100);
+  const auto b = run_mapping_experiment(net, task, 4, 900);
+  EXPECT_NE(a.finishing_time.mean(), b.finishing_time.mean());
+}
+
+TEST(PaperConstantsTest, SaneValues) {
+  EXPECT_EQ(paper::kPaperRuns, 40);
+  EXPECT_EQ(paper::kRoutingSteps, 300u);
+  EXPECT_EQ(paper::kRoutingMeasureFrom, 150u);
+  EXPECT_LT(paper::kRoutingMeasureFrom, paper::kRoutingSteps);
+}
+
+}  // namespace
+}  // namespace agentnet

@@ -1,0 +1,110 @@
+#include "geom/spatial_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "mobility/mobility.hpp"
+
+namespace agentnet {
+namespace {
+
+const Aabb kArena{{0.0, 0.0}, {100.0, 100.0}};
+
+TEST(SpatialGridTest, RejectsBadConstruction) {
+  EXPECT_THROW(SpatialGrid(kArena, 0.0), ConfigError);
+  EXPECT_THROW(SpatialGrid({{0.0, 0.0}, {0.0, 10.0}}, 1.0), ConfigError);
+}
+
+TEST(SpatialGridTest, EmptyGridQueriesNothing) {
+  SpatialGrid grid(kArena, 10.0);
+  grid.rebuild({});
+  EXPECT_TRUE(grid.query({50.0, 50.0}, 100.0).empty());
+}
+
+TEST(SpatialGridTest, FindsSelf) {
+  SpatialGrid grid(kArena, 10.0);
+  grid.rebuild({{50.0, 50.0}});
+  const auto hits = grid.query({50.0, 50.0}, 0.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+}
+
+TEST(SpatialGridTest, RadiusBoundaryInclusive) {
+  SpatialGrid grid(kArena, 10.0);
+  grid.rebuild({{10.0, 10.0}, {13.0, 14.0}});  // distance exactly 5
+  EXPECT_EQ(grid.query({10.0, 10.0}, 5.0).size(), 2u);
+  EXPECT_EQ(grid.query({10.0, 10.0}, 4.999).size(), 1u);
+}
+
+TEST(SpatialGridTest, QueryCrossesCellBoundaries) {
+  SpatialGrid grid(kArena, 5.0);
+  grid.rebuild({{4.9, 4.9}, {5.1, 5.1}});
+  EXPECT_EQ(grid.query({4.9, 4.9}, 1.0).size(), 2u);
+}
+
+TEST(SpatialGridTest, MatchesBruteForceOnRandomPoints) {
+  Rng rng(123);
+  auto points = random_positions(400, kArena, rng);
+  SpatialGrid grid(kArena, 12.0);
+  grid.rebuild(points);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec2 q{rng.uniform_real(0.0, 100.0), rng.uniform_real(0.0, 100.0)};
+    const double radius = rng.uniform_real(0.0, 30.0);
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < points.size(); ++i)
+      if (distance(q, points[i]) <= radius) expected.push_back(i);
+    EXPECT_EQ(grid.query(q, radius), expected);
+  }
+}
+
+TEST(SpatialGridTest, RadiusLargerThanCellSizeWorks) {
+  Rng rng(7);
+  auto points = random_positions(200, kArena, rng);
+  SpatialGrid grid(kArena, 5.0);  // query radius far exceeds the cell size
+  grid.rebuild(points);
+  const double radius = 40.0;
+  const Vec2 q{50.0, 50.0};
+  std::vector<std::size_t> expected;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (distance(q, points[i]) <= radius) expected.push_back(i);
+  EXPECT_EQ(grid.query(q, radius), expected);
+}
+
+TEST(SpatialGridTest, PointsOutsideBoundsClampIntoEdgeCells) {
+  SpatialGrid grid(kArena, 10.0);
+  grid.rebuild({{150.0, 150.0}});  // clamped to the corner cell
+  // The stored position is kept verbatim; only the cell is clamped, so a
+  // query near the true position must still find it.
+  EXPECT_EQ(grid.query({150.0, 150.0}, 1.0).size(), 1u);
+}
+
+TEST(SpatialGridTest, RebuildReplacesContents) {
+  SpatialGrid grid(kArena, 10.0);
+  grid.rebuild({{10.0, 10.0}});
+  grid.rebuild({{90.0, 90.0}});
+  EXPECT_TRUE(grid.query({10.0, 10.0}, 5.0).empty());
+  EXPECT_EQ(grid.query({90.0, 90.0}, 5.0).size(), 1u);
+  EXPECT_EQ(grid.size(), 1u);
+}
+
+TEST(SpatialGridTest, NegativeRadiusFindsNothing) {
+  SpatialGrid grid(kArena, 10.0);
+  grid.rebuild({{50.0, 50.0}});
+  EXPECT_TRUE(grid.query({50.0, 50.0}, -1.0).empty());
+}
+
+TEST(SpatialGridTest, ForEachVisitsEveryMatchOnce) {
+  SpatialGrid grid(kArena, 10.0);
+  grid.rebuild({{50.0, 50.0}, {51.0, 50.0}, {52.0, 50.0}});
+  std::vector<std::size_t> seen;
+  grid.for_each_within({51.0, 50.0}, 2.0,
+                       [&](std::size_t j) { seen.push_back(j); });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace agentnet

@@ -1,0 +1,73 @@
+#include "geom/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+namespace agentnet {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+}
+
+TEST(Vec2Test, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+}
+
+TEST(Vec2Test, DotAndNorm) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot({1.0, 2.0}), 11.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+}
+
+TEST(Vec2Test, NormalizedUnitLength) {
+  const Vec2 v = Vec2{3.0, 4.0}.normalized();
+  EXPECT_NEAR(v.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(v.x, 0.6, 1e-12);
+  EXPECT_NEAR(v.y, 0.8, 1e-12);
+}
+
+TEST(Vec2Test, NormalizedZeroStaysZero) {
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Vec2Test, DistanceFunctions) {
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance2({1.0, 1.0}, {2.0, 2.0}), 2.0);
+}
+
+TEST(AabbTest, ContainsBoundaryInclusive) {
+  const Aabb box{{0.0, 0.0}, {10.0, 5.0}};
+  EXPECT_TRUE(box.contains({0.0, 0.0}));
+  EXPECT_TRUE(box.contains({10.0, 5.0}));
+  EXPECT_TRUE(box.contains({5.0, 2.5}));
+  EXPECT_FALSE(box.contains({-0.1, 2.0}));
+  EXPECT_FALSE(box.contains({5.0, 5.1}));
+}
+
+TEST(AabbTest, Dimensions) {
+  const Aabb box{{1.0, 2.0}, {4.0, 10.0}};
+  EXPECT_DOUBLE_EQ(box.width(), 3.0);
+  EXPECT_DOUBLE_EQ(box.height(), 8.0);
+}
+
+TEST(AabbTest, ClampPullsOutsidePointsIn) {
+  const Aabb box{{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_EQ(box.clamp({-5.0, 5.0}), Vec2(0.0, 5.0));
+  EXPECT_EQ(box.clamp({12.0, -3.0}), Vec2(10.0, 0.0));
+  EXPECT_EQ(box.clamp({3.0, 4.0}), Vec2(3.0, 4.0));
+}
+
+}  // namespace
+}  // namespace agentnet

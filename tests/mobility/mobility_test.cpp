@@ -1,0 +1,269 @@
+#include "mobility/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+namespace {
+
+const Aabb kArena{{0.0, 0.0}, {100.0, 100.0}};
+
+TEST(RandomPositionsTest, AllInsideBounds) {
+  Rng rng(1);
+  const auto pos = random_positions(500, kArena, rng);
+  ASSERT_EQ(pos.size(), 500u);
+  for (const auto& p : pos) EXPECT_TRUE(kArena.contains(p));
+}
+
+TEST(StationaryMobilityTest, NothingMoves) {
+  StationaryMobility model;
+  std::vector<Vec2> pos{{1.0, 2.0}, {3.0, 4.0}};
+  const auto before = pos;
+  for (int i = 0; i < 10; ++i) model.step(pos);
+  EXPECT_EQ(pos, before);
+  EXPECT_TRUE(model.is_stationary(0));
+}
+
+TEST(RandomDirectionTest, OnlyMobileNodesMove) {
+  Rng rng(2);
+  RandomDirectionMobility model(kArena, {true, false}, {1.0, 2.0, 0.0},
+                                rng.fork(1));
+  std::vector<Vec2> pos{{50.0, 50.0}, {20.0, 20.0}};
+  model.step(pos);
+  EXPECT_NE(pos[0], Vec2(50.0, 50.0));
+  EXPECT_EQ(pos[1], Vec2(20.0, 20.0));
+  EXPECT_FALSE(model.is_stationary(0));
+  EXPECT_TRUE(model.is_stationary(1));
+}
+
+TEST(RandomDirectionTest, StaysInBoundsUnderLongRun) {
+  Rng rng(3);
+  RandomDirectionMobility model(kArena, std::vector<bool>(20, true),
+                                {2.0, 5.0, 0.1}, rng.fork(1));
+  auto pos = random_positions(20, kArena, rng);
+  for (int t = 0; t < 2000; ++t) {
+    model.step(pos);
+    for (const auto& p : pos) EXPECT_TRUE(kArena.contains(p));
+  }
+}
+
+TEST(RandomDirectionTest, SpeedIsPerNodeWithinParams) {
+  Rng rng(4);
+  RandomDirectionMobility model(kArena, std::vector<bool>(50, true),
+                                {1.0, 3.0, 0.0}, rng.fork(1));
+  bool varied = false;
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_GE(model.speed(i), 1.0);
+    EXPECT_LE(model.speed(i), 3.0);
+    if (std::abs(model.speed(i) - model.speed(0)) > 1e-9) varied = true;
+  }
+  EXPECT_TRUE(varied) << "random velocities should differ across nodes";
+}
+
+TEST(RandomDirectionTest, StepDisplacementMatchesSpeed) {
+  Rng rng(5);
+  RandomDirectionMobility model(kArena, {true}, {2.0, 2.0, 0.0},
+                                rng.fork(1));
+  std::vector<Vec2> pos{{50.0, 50.0}};
+  const Vec2 before = pos[0];
+  model.step(pos);
+  EXPECT_NEAR(distance(before, pos[0]), 2.0, 1e-9);
+}
+
+TEST(RandomDirectionTest, RejectsBadParams) {
+  Rng rng(6);
+  EXPECT_THROW(RandomDirectionMobility(kArena, {true}, {-1.0, 2.0, 0.0},
+                                       rng.fork(1)),
+               ConfigError);
+  EXPECT_THROW(RandomDirectionMobility(kArena, {true}, {3.0, 2.0, 0.0},
+                                       rng.fork(2)),
+               ConfigError);
+  EXPECT_THROW(RandomDirectionMobility(kArena, {true}, {1.0, 2.0, 1.5},
+                                       rng.fork(3)),
+               ConfigError);
+}
+
+TEST(RandomDirectionTest, PositionCountMismatchThrows) {
+  Rng rng(7);
+  RandomDirectionMobility model(kArena, {true, true}, {1.0, 1.0, 0.0},
+                                rng.fork(1));
+  std::vector<Vec2> pos{{1.0, 1.0}};
+  EXPECT_THROW(model.step(pos), ConfigError);
+}
+
+TEST(RandomWaypointTest, ReachesWaypointsAndKeepsMoving) {
+  Rng rng(8);
+  RandomWaypointMobility model(kArena, {true}, {5.0, 5.0, 0}, rng.fork(1));
+  std::vector<Vec2> pos{{50.0, 50.0}};
+  Vec2 prev = pos[0];
+  double total = 0.0;
+  for (int t = 0; t < 200; ++t) {
+    model.step(pos);
+    EXPECT_TRUE(kArena.contains(pos[0]));
+    total += distance(prev, pos[0]);
+    prev = pos[0];
+  }
+  // Moving at speed 5 for 200 steps with no pauses covers real distance.
+  EXPECT_GT(total, 500.0);
+}
+
+TEST(RandomWaypointTest, PausesAtWaypoint) {
+  Rng rng(9);
+  RandomWaypointMobility model(kArena, {true}, {100.0, 100.0, 5},
+                               rng.fork(1));
+  // Speed 100 in a 100x100 arena: every leg completes in one step, so the
+  // node must then sit still for 5 steps.
+  std::vector<Vec2> pos{{50.0, 50.0}};
+  model.step(pos);  // arrives at first waypoint
+  const Vec2 at = pos[0];
+  for (int i = 0; i < 5; ++i) {
+    model.step(pos);
+    EXPECT_EQ(pos[0], at) << "should pause at waypoint, step " << i;
+  }
+  model.step(pos);
+  EXPECT_NE(pos[0], at);
+}
+
+TEST(GaussMarkovTest, StaysInBoundsUnderLongRun) {
+  Rng rng(20);
+  GaussMarkovMobility model(kArena, std::vector<bool>(10, true), {},
+                            rng.fork(1));
+  auto pos = random_positions(10, kArena, rng);
+  for (int t = 0; t < 3000; ++t) {
+    model.step(pos);
+    for (const auto& p : pos) ASSERT_TRUE(kArena.contains(p));
+  }
+}
+
+TEST(GaussMarkovTest, OnlyMobileNodesMove) {
+  Rng rng(21);
+  GaussMarkovMobility model(kArena, {false, true},
+                            {2.0, 0.1, 0.1, 0.75, 10.0}, rng.fork(1));
+  std::vector<Vec2> pos{{50.0, 50.0}, {60.0, 60.0}};
+  model.step(pos);
+  EXPECT_EQ(pos[0], Vec2(50.0, 50.0));
+  EXPECT_NE(pos[1], Vec2(60.0, 60.0));
+  EXPECT_TRUE(model.is_stationary(0));
+  EXPECT_FALSE(model.is_stationary(1));
+}
+
+TEST(GaussMarkovTest, PathsAreSmoother_ThanRandomDirection) {
+  // Temporal correlation: with high alpha, consecutive displacement
+  // vectors should mostly point the same way (positive mean dot product).
+  // A roomy arena keeps wall steering out of the statistic.
+  const Aabb roomy{{0.0, 0.0}, {2000.0, 2000.0}};
+  Rng rng(22);
+  GaussMarkovMobility model(roomy, {true}, {2.0, 0.2, 0.15, 0.9, 25.0},
+                            rng.fork(1));
+  std::vector<Vec2> pos{{1000.0, 1000.0}};
+  Vec2 prev = pos[0];
+  Vec2 prev_step{};
+  double dot_sum = 0.0;
+  int samples = 0;
+  for (int t = 0; t < 500; ++t) {
+    model.step(pos);
+    const Vec2 step_vec = pos[0] - prev;
+    if (t > 0 && prev_step.norm() > 0 && step_vec.norm() > 0) {
+      dot_sum += step_vec.normalized().dot(prev_step.normalized());
+      ++samples;
+    }
+    prev_step = step_vec;
+    prev = pos[0];
+  }
+  EXPECT_GT(dot_sum / samples, 0.5);
+}
+
+TEST(GaussMarkovTest, SpeedRevertsToMean) {
+  const Aabb roomy{{0.0, 0.0}, {2000.0, 2000.0}};
+  Rng rng(23);
+  const double mean_speed = 3.0;
+  GaussMarkovMobility model(roomy, {true},
+                            {mean_speed, 0.3, 0.2, 0.8, 25.0}, rng.fork(1));
+  std::vector<Vec2> pos{{1000.0, 1000.0}};
+  Vec2 prev = pos[0];
+  double total = 0.0;
+  const int steps = 2000;
+  for (int t = 0; t < steps; ++t) {
+    model.step(pos);
+    total += distance(prev, pos[0]);
+    prev = pos[0];
+  }
+  // Wall steering shortens some steps; allow a generous band around mean.
+  EXPECT_NEAR(total / steps, mean_speed, 1.0);
+}
+
+TEST(GaussMarkovTest, RejectsBadParams) {
+  Rng rng(24);
+  EXPECT_THROW(GaussMarkovMobility(kArena, {true},
+                                   {-1.0, 0.1, 0.1, 0.5, 10.0}, rng.fork(1)),
+               ConfigError);
+  EXPECT_THROW(GaussMarkovMobility(kArena, {true},
+                                   {1.0, 0.1, 0.1, 1.5, 10.0}, rng.fork(2)),
+               ConfigError);
+}
+
+TEST(TraceMobilityTest, ReplayMatchesRecording) {
+  Rng rng(10);
+  RandomDirectionMobility model(kArena, std::vector<bool>(5, true),
+                                {1.0, 2.0, 0.1}, rng.fork(1));
+  auto initial = random_positions(5, kArena, rng);
+  auto live = initial;
+  std::vector<std::vector<Vec2>> expected;
+  {
+    // Record with a copy of the model state by replaying through record().
+    RandomDirectionMobility recorder(kArena, std::vector<bool>(5, true),
+                                     {1.0, 2.0, 0.1}, Rng(99));
+    TraceMobility trace = TraceMobility::record(recorder, initial, 50);
+    EXPECT_EQ(trace.frames(), 50u);
+    auto replay = initial;
+    for (std::size_t t = 0; t < 50; ++t) {
+      trace.step(replay);
+      EXPECT_EQ(replay, trace.frame(t));
+    }
+  }
+  (void)live;
+  (void)expected;
+}
+
+TEST(TraceMobilityTest, ResetRestartsPlayback) {
+  Rng rng(11);
+  RandomDirectionMobility recorder(kArena, {true}, {1.0, 1.0, 0.0},
+                                   rng.fork(1));
+  TraceMobility trace = TraceMobility::record(recorder, {{50.0, 50.0}}, 10);
+  std::vector<Vec2> a{{50.0, 50.0}};
+  trace.step(a);
+  const Vec2 first = a[0];
+  trace.step(a);
+  trace.reset();
+  std::vector<Vec2> b{{50.0, 50.0}};
+  trace.step(b);
+  EXPECT_EQ(b[0], first);
+}
+
+TEST(TraceMobilityTest, HoldsFinalFramePastEnd) {
+  Rng rng(12);
+  RandomDirectionMobility recorder(kArena, {true}, {1.0, 1.0, 0.0},
+                                   rng.fork(1));
+  TraceMobility trace = TraceMobility::record(recorder, {{50.0, 50.0}}, 3);
+  std::vector<Vec2> pos{{50.0, 50.0}};
+  for (int t = 0; t < 3; ++t) trace.step(pos);
+  const Vec2 last = pos[0];
+  for (int t = 0; t < 5; ++t) {
+    trace.step(pos);
+    EXPECT_EQ(pos[0], last);
+  }
+}
+
+TEST(TraceMobilityTest, PreservesStationaryFlags) {
+  Rng rng(13);
+  RandomDirectionMobility recorder(kArena, {true, false}, {1.0, 1.0, 0.0},
+                                   rng.fork(1));
+  TraceMobility trace =
+      TraceMobility::record(recorder, {{1.0, 1.0}, {2.0, 2.0}}, 5);
+  EXPECT_FALSE(trace.is_stationary(0));
+  EXPECT_TRUE(trace.is_stationary(1));
+}
+
+}  // namespace
+}  // namespace agentnet

@@ -1,0 +1,168 @@
+#include "net/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace agentnet {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.edges().empty());
+}
+
+TEST(GraphTest, AddEdgeDirectedOnly) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(GraphTest, DuplicateEdgeRejected) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(GraphTest, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_FALSE(g.add_edge(1, 1));
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(GraphTest, UndirectedAddsBoth) {
+  Graph g(2);
+  g.add_undirected_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(GraphTest, RemoveEdge) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_FALSE(g.remove_edge(0, 1));  // already gone
+}
+
+TEST(GraphTest, NeighborsSortedAscending) {
+  Graph g(5);
+  g.add_edge(0, 4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 3);
+  const auto n = g.out_neighbors(0);
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_EQ(n[0], 1u);
+  EXPECT_EQ(n[1], 3u);
+  EXPECT_EQ(n[2], 4u);
+}
+
+TEST(GraphTest, Degrees) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);
+  g.add_edge(3, 1);
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+  EXPECT_EQ(g.in_degree(1), 3u);
+  EXPECT_EQ(g.in_degree(3), 0u);
+}
+
+TEST(GraphTest, EdgesLexicographic) {
+  Graph g(3);
+  g.add_edge(2, 0);
+  g.add_edge(0, 2);
+  g.add_edge(0, 1);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[1], (Edge{0, 2}));
+  EXPECT_EQ(edges[2], (Edge{2, 0}));
+}
+
+TEST(GraphTest, ClearEdgesKeepsNodes) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.clear_edges();
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(GraphTest, EqualityComparesStructure) {
+  Graph a(3), b(3);
+  a.add_edge(0, 1);
+  EXPECT_NE(a, b);
+  b.add_edge(0, 1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GraphTest, FuzzAgainstAdjacencyMatrixModel) {
+  // Model-based fuzz: mirror every operation into a dumb adjacency matrix
+  // and compare all observable behaviour.
+  Rng rng(101);
+  const std::size_t n = 24;
+  Graph g(n);
+  std::vector<std::vector<bool>> model(n, std::vector<bool>(n, false));
+  for (int op = 0; op < 8000; ++op) {
+    const NodeId u = static_cast<NodeId>(rng.index(n));
+    const NodeId v = static_cast<NodeId>(rng.index(n));
+    const int action = static_cast<int>(rng.index(3));
+    if (action == 0) {
+      const bool expect_new = u != v && !model[u][v];
+      ASSERT_EQ(g.add_edge(u, v), expect_new);
+      if (u != v) model[u][v] = true;
+    } else if (action == 1) {
+      const bool expect_removed = model[u][v];
+      ASSERT_EQ(g.remove_edge(u, v), expect_removed);
+      model[u][v] = false;
+    } else {
+      ASSERT_EQ(g.has_edge(u, v), model[u][v]);
+    }
+  }
+  // Final full sweep: neighbours, degrees, edge list.
+  std::size_t model_edges = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    std::vector<NodeId> expected;
+    for (NodeId v = 0; v < n; ++v)
+      if (model[u][v]) {
+        expected.push_back(v);
+        ++model_edges;
+      }
+    const auto actual = g.out_neighbors(u);
+    ASSERT_TRUE(std::equal(actual.begin(), actual.end(), expected.begin(),
+                           expected.end()))
+        << "node " << u;
+  }
+  EXPECT_EQ(g.edge_count(), model_edges);
+}
+
+TEST(GraphTest, EdgeCountConsistentUnderRandomChurn) {
+  Rng rng(77);
+  Graph g(30);
+  std::size_t expected = 0;
+  for (int op = 0; op < 5000; ++op) {
+    const NodeId u = static_cast<NodeId>(rng.index(30));
+    const NodeId v = static_cast<NodeId>(rng.index(30));
+    if (rng.bernoulli(0.6)) {
+      if (g.add_edge(u, v)) ++expected;
+    } else {
+      if (g.remove_edge(u, v)) --expected;
+    }
+    ASSERT_EQ(g.edge_count(), expected);
+  }
+  EXPECT_EQ(g.edges().size(), expected);
+}
+
+}  // namespace
+}  // namespace agentnet

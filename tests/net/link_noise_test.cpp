@@ -1,0 +1,163 @@
+#include "net/link_noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/mapping_task.hpp"
+#include "net/generators.hpp"
+#include "sim/world.hpp"
+
+namespace agentnet {
+namespace {
+
+Graph complete_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = 0; v < n; ++v)
+      if (u != v) g.add_edge(u, v);
+  return g;
+}
+
+TEST(LinkFlapperTest, RejectsBadConfig) {
+  EXPECT_THROW(LinkFlapper(1.0, 5, 1), ConfigError);
+  EXPECT_THROW(LinkFlapper(-0.1, 5, 1), ConfigError);
+  EXPECT_THROW(LinkFlapper(0.1, 0, 1), ConfigError);
+}
+
+TEST(LinkFlapperTest, ZeroProbabilityNeverDrops) {
+  const LinkFlapper flapper(0.0, 5, 1);
+  Graph g = complete_graph(10);
+  const std::size_t before = g.edge_count();
+  flapper.apply(g, 123);
+  EXPECT_EQ(g.edge_count(), before);
+}
+
+TEST(LinkFlapperTest, DropRateMatchesProbability) {
+  const LinkFlapper flapper(0.2, 1, 7);
+  std::size_t down = 0, total = 0;
+  for (NodeId u = 0; u < 60; ++u)
+    for (NodeId v = 0; v < 60; ++v) {
+      if (u == v) continue;
+      for (std::size_t step = 0; step < 5; ++step) {
+        ++total;
+        if (flapper.down(u, v, step)) ++down;
+      }
+    }
+  const double rate = static_cast<double>(down) / static_cast<double>(total);
+  EXPECT_NEAR(rate, 0.2, 0.01);
+}
+
+TEST(LinkFlapperTest, OutagesPersistForWholeWindows) {
+  const LinkFlapper flapper(0.3, 10, 3);
+  for (NodeId u = 0; u < 20; ++u)
+    for (NodeId v = 0; v < 20; ++v) {
+      if (u == v) continue;
+      const bool at0 = flapper.down(u, v, 0);
+      for (std::size_t step = 1; step < 10; ++step)
+        ASSERT_EQ(flapper.down(u, v, step), at0)
+            << "weather must hold within a window";
+    }
+}
+
+TEST(LinkFlapperTest, WeatherChangesAcrossWindows) {
+  const LinkFlapper flapper(0.3, 10, 3);
+  int changed = 0;
+  for (NodeId u = 0; u < 30; ++u)
+    for (NodeId v = 0; v < 30; ++v) {
+      if (u == v) continue;
+      if (flapper.down(u, v, 0) != flapper.down(u, v, 10)) ++changed;
+    }
+  EXPECT_GT(changed, 50) << "new window, new weather";
+}
+
+TEST(LinkFlapperTest, DeterministicInSeed) {
+  const LinkFlapper a(0.25, 4, 11);
+  const LinkFlapper b(0.25, 4, 11);
+  const LinkFlapper c(0.25, 4, 12);
+  int same_ab = 0, same_ac = 0, total = 0;
+  for (NodeId u = 0; u < 20; ++u)
+    for (NodeId v = 0; v < 20; ++v) {
+      if (u == v) continue;
+      ++total;
+      if (a.down(u, v, 3) == b.down(u, v, 3)) ++same_ab;
+      if (a.down(u, v, 3) == c.down(u, v, 3)) ++same_ac;
+    }
+  EXPECT_EQ(same_ab, total);
+  EXPECT_LT(same_ac, total);
+}
+
+TEST(LinkFlapperTest, DirectionalIndependence) {
+  // u→v and v→u are distinct links and flap independently.
+  const LinkFlapper flapper(0.4, 1, 5);
+  int asymmetric = 0;
+  for (NodeId u = 0; u < 40; ++u)
+    for (NodeId v = static_cast<NodeId>(u + 1); v < 40; ++v)
+      if (flapper.down(u, v, 0) != flapper.down(v, u, 0)) ++asymmetric;
+  EXPECT_GT(asymmetric, 100);
+}
+
+TEST(FlappingWorldTest, GraphShrinksAndRecovers) {
+  TargetEdgeParams params;
+  params.geometry.node_count = 60;
+  params.target_edges = 420;
+  params.tolerance = 0.05;
+  const auto net = generate_target_edge_network(params, 21);
+  World world = World::frozen(net);
+  const std::size_t full = world.graph().edge_count();
+  world.set_link_flapper(LinkFlapper(0.2, 5, 3));
+  const std::size_t flapped = world.graph().edge_count();
+  EXPECT_LT(flapped, full);
+  EXPECT_GT(flapped, full / 2);
+  world.set_link_flapper(std::nullopt);
+  EXPECT_EQ(world.graph().edge_count(), full);
+}
+
+TEST(FlappingWorldTest, MappingStillFinishesAgainstFullTruth) {
+  TargetEdgeParams params;
+  params.geometry.node_count = 50;
+  params.target_edges = 340;
+  params.tolerance = 0.05;
+  const auto net = generate_target_edge_network(params, 22);
+  World world = World::frozen(net);
+  world.set_link_flapper(LinkFlapper(0.1, 5, 9));
+  MappingTaskConfig cfg;
+  cfg.population = 6;
+  cfg.agent = {MappingPolicy::kConscientious, StigmergyMode::kOff};
+  cfg.advance_world = true;  // weather must change
+  cfg.truth_edges_override = net.graph.edge_count();
+  cfg.max_steps = 100000;
+  const auto result = run_mapping_task(world, cfg, Rng(5));
+  EXPECT_TRUE(result.finished)
+      << "every link is up most of the time; persistence 5 means an agent "
+         "revisiting later sees it";
+  EXPECT_EQ(result.truth_edges, net.graph.edge_count());
+}
+
+TEST(FlappingWorldTest, FlappingSlowsMappingDown) {
+  TargetEdgeParams params;
+  params.geometry.node_count = 50;
+  params.target_edges = 340;
+  params.tolerance = 0.05;
+  const auto net = generate_target_edge_network(params, 23);
+  auto run_with = [&](double q, std::uint64_t seed) {
+    World world = World::frozen(net);
+    if (q > 0.0) world.set_link_flapper(LinkFlapper(q, 5, 17));
+    MappingTaskConfig cfg;
+    cfg.population = 6;
+    cfg.agent = {MappingPolicy::kConscientious, StigmergyMode::kOff};
+    cfg.advance_world = true;
+    cfg.truth_edges_override = net.graph.edge_count();
+    cfg.record_series = false;
+    return static_cast<double>(
+        run_mapping_task(world, cfg, Rng(seed)).finishing_time);
+  };
+  double calm = 0.0, stormy = 0.0;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    calm += run_with(0.0, 600 + s);
+    stormy += run_with(0.25, 600 + s);
+  }
+  EXPECT_GT(stormy, calm);
+}
+
+}  // namespace
+}  // namespace agentnet

@@ -1,0 +1,112 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "mobility/mobility.hpp"
+#include "net/metrics.hpp"
+
+namespace agentnet {
+namespace {
+
+const Aabb kArena{{0.0, 0.0}, {100.0, 100.0}};
+
+TEST(TopologyTest, DirectedAsymmetricRanges) {
+  // Node 0 has a long range, node 1 a short one; only 0→1 exists.
+  TopologyBuilder builder(kArena, 50.0, LinkPolicy::kDirected);
+  const Graph g =
+      builder.build({{0.0, 0.0}, {30.0, 0.0}}, {40.0, 10.0});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(TopologyTest, SymmetricAndNeedsMutualReach) {
+  TopologyBuilder builder(kArena, 50.0, LinkPolicy::kSymmetricAnd);
+  const Graph g =
+      builder.build({{0.0, 0.0}, {30.0, 0.0}}, {40.0, 10.0});
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  const Graph g2 =
+      builder.build({{0.0, 0.0}, {30.0, 0.0}}, {40.0, 35.0});
+  EXPECT_TRUE(g2.has_edge(0, 1));
+  EXPECT_TRUE(g2.has_edge(1, 0));
+}
+
+TEST(TopologyTest, SymmetricOrNeedsOneDirection) {
+  TopologyBuilder builder(kArena, 50.0, LinkPolicy::kSymmetricOr);
+  const Graph g =
+      builder.build({{0.0, 0.0}, {30.0, 0.0}}, {40.0, 10.0});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+}
+
+// The symmetry property, parameterized over policy.
+class SymmetryTest : public ::testing::TestWithParam<LinkPolicy> {};
+
+TEST_P(SymmetryTest, GraphIsSymmetric) {
+  Rng rng(6);
+  const auto positions = random_positions(150, kArena, rng);
+  std::vector<double> ranges(150);
+  for (auto& r : ranges) r = rng.uniform_real(5.0, 20.0);
+  TopologyBuilder builder(kArena, 20.0, GetParam());
+  const Graph g = builder.build(positions, ranges);
+  EXPECT_DOUBLE_EQ(degree_stats(g).symmetry, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SymmetricPolicies, SymmetryTest,
+                         ::testing::Values(LinkPolicy::kSymmetricAnd,
+                                           LinkPolicy::kSymmetricOr));
+
+TEST(TopologyTest, MatchesBruteForceDirected) {
+  Rng rng(7);
+  const auto positions = random_positions(120, kArena, rng);
+  std::vector<double> ranges(120);
+  for (auto& r : ranges) r = rng.uniform_real(5.0, 25.0);
+  TopologyBuilder builder(kArena, 25.0, LinkPolicy::kDirected);
+  const Graph g = builder.build(positions, ranges);
+  for (NodeId u = 0; u < 120; ++u) {
+    for (NodeId v = 0; v < 120; ++v) {
+      if (u == v) continue;
+      const bool expected =
+          distance(positions[u], positions[v]) <= ranges[u];
+      EXPECT_EQ(g.has_edge(u, v), expected)
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(TopologyTest, NoSelfLoops) {
+  TopologyBuilder builder(kArena, 50.0, LinkPolicy::kDirected);
+  const Graph g = builder.build({{10.0, 10.0}}, {50.0});
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(TopologyTest, RangeBoundaryInclusive) {
+  TopologyBuilder builder(kArena, 50.0, LinkPolicy::kDirected);
+  const Graph g = builder.build({{0.0, 0.0}, {10.0, 0.0}}, {10.0, 5.0});
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(TopologyTest, RejectsSizeMismatch) {
+  TopologyBuilder builder(kArena, 50.0, LinkPolicy::kDirected);
+  EXPECT_THROW(builder.build({{0.0, 0.0}}, {10.0, 20.0}), ConfigError);
+}
+
+TEST(TopologyTest, RejectsRangeAboveDeclaredMax) {
+  TopologyBuilder builder(kArena, 10.0, LinkPolicy::kDirected);
+  EXPECT_THROW(builder.build({{0.0, 0.0}}, {20.0}), ConfigError);
+}
+
+TEST(TopologyTest, RebuildReflectsMovement) {
+  TopologyBuilder builder(kArena, 15.0, LinkPolicy::kDirected);
+  const Graph before =
+      builder.build({{0.0, 0.0}, {10.0, 0.0}}, {15.0, 15.0});
+  EXPECT_TRUE(before.has_edge(0, 1));
+  const Graph after =
+      builder.build({{0.0, 0.0}, {50.0, 0.0}}, {15.0, 15.0});
+  EXPECT_FALSE(after.has_edge(0, 1));
+}
+
+}  // namespace
+}  // namespace agentnet

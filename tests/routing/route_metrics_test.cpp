@@ -1,0 +1,86 @@
+#include "routing/route_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace agentnet {
+namespace {
+
+// Two gateways (0 and 4), chain 0-1-2-3-4.
+struct TwoGatewayLine {
+  Graph graph{5};
+  RoutingTables tables{5};
+  std::vector<bool> is_gateway{true, false, false, false, true};
+
+  TwoGatewayLine() {
+    for (NodeId i = 0; i + 1 < 5; ++i) graph.add_undirected_edge(i, i + 1);
+  }
+};
+
+TEST(RouteMetricsTest, EmptyTables) {
+  TwoGatewayLine w;
+  const auto report = analyze_tables(w.graph, w.tables, w.is_gateway, 10);
+  EXPECT_EQ(report.entries, 0u);
+  EXPECT_EQ(report.valid_entries, 0u);
+  EXPECT_DOUBLE_EQ(report.load_imbalance(), 0.0);
+}
+
+TEST(RouteMetricsTest, CountsEntriesAndLoad) {
+  TwoGatewayLine w;
+  w.tables.force(1, {0, 0, 1, 2});  // toward gateway 0
+  w.tables.force(2, {1, 0, 2, 4});  // toward gateway 0 via 1
+  w.tables.force(3, {4, 4, 1, 6});  // toward gateway 4
+  const auto report = analyze_tables(w.graph, w.tables, w.is_gateway, 10);
+  EXPECT_EQ(report.entries, 3u);
+  EXPECT_EQ(report.valid_entries, 3u);
+  EXPECT_EQ(report.gateway_load[0], 2u);
+  EXPECT_EQ(report.gateway_load[4], 1u);
+  // loads {2,1}: imbalance = 2 / 1.5
+  EXPECT_NEAR(report.load_imbalance(), 2.0 / 1.5, 1e-12);
+}
+
+TEST(RouteMetricsTest, AttributesToReachedGatewayNotAdvertised) {
+  TwoGatewayLine w;
+  // Node 3 advertises gateway 0 but its chain 3→4 reaches gateway 4.
+  w.tables.force(3, {4, 0, 9, 0});
+  const auto report = analyze_tables(w.graph, w.tables, w.is_gateway, 0);
+  EXPECT_EQ(report.gateway_load[4], 1u);
+  EXPECT_EQ(report.gateway_load[0], 0u);
+}
+
+TEST(RouteMetricsTest, BrokenChainCountsEntryButNotValid) {
+  TwoGatewayLine w;
+  w.tables.force(2, {1, 0, 2, 0});
+  w.graph.remove_edge(2, 1);
+  const auto report = analyze_tables(w.graph, w.tables, w.is_gateway, 0);
+  EXPECT_EQ(report.entries, 1u);
+  EXPECT_EQ(report.valid_entries, 0u);
+}
+
+TEST(RouteMetricsTest, LoopDoesNotHang) {
+  TwoGatewayLine w;
+  w.tables.force(1, {2, 0, 1, 0});
+  w.tables.force(2, {1, 0, 1, 0});
+  const auto report = analyze_tables(w.graph, w.tables, w.is_gateway, 0);
+  EXPECT_EQ(report.entries, 2u);
+  EXPECT_EQ(report.valid_entries, 0u);
+}
+
+TEST(RouteMetricsTest, HopAndAgeStats) {
+  TwoGatewayLine w;
+  w.tables.force(1, {0, 0, 1, 2});
+  w.tables.force(2, {1, 0, 2, 6});
+  const auto report = analyze_tables(w.graph, w.tables, w.is_gateway, 10);
+  EXPECT_DOUBLE_EQ(report.hops.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(report.age.mean(), (8.0 + 4.0) / 2.0);
+}
+
+TEST(RouteMetricsTest, PerfectBalanceIsOne) {
+  TwoGatewayLine w;
+  w.tables.force(1, {0, 0, 1, 0});
+  w.tables.force(3, {4, 4, 1, 0});
+  const auto report = analyze_tables(w.graph, w.tables, w.is_gateway, 0);
+  EXPECT_DOUBLE_EQ(report.load_imbalance(), 1.0);
+}
+
+}  // namespace
+}  // namespace agentnet

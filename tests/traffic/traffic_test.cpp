@@ -1,0 +1,206 @@
+#include "traffic/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+namespace {
+
+// Line 0(gw)-1-2-3, fully routed toward the gateway.
+struct LineWorld {
+  Graph graph{4};
+  RoutingTables tables{4};
+  std::vector<bool> is_gateway{true, false, false, false};
+
+  LineWorld() {
+    graph.add_undirected_edge(0, 1);
+    graph.add_undirected_edge(1, 2);
+    graph.add_undirected_edge(2, 3);
+    tables.force(1, {0, 0, 1, 0});
+    tables.force(2, {1, 0, 2, 0});
+    tables.force(3, {2, 0, 3, 0});
+  }
+};
+
+TrafficConfig always_generate() {
+  TrafficConfig cfg;
+  cfg.packets_per_node_per_step = 1.0;
+  return cfg;
+}
+
+TrafficConfig never_generate() {
+  TrafficConfig cfg;
+  cfg.packets_per_node_per_step = 0.0;
+  return cfg;
+}
+
+TEST(TrafficTest, RejectsBadConfig) {
+  TrafficConfig bad;
+  bad.packets_per_node_per_step = 1.5;
+  EXPECT_THROW(TrafficSimulator(4, std::vector<bool>(4, false), bad, Rng(1)),
+               ConfigError);
+  bad = TrafficConfig{};
+  bad.ttl = 0;
+  EXPECT_THROW(TrafficSimulator(4, std::vector<bool>(4, false), bad, Rng(1)),
+               ConfigError);
+  bad = TrafficConfig{};
+  bad.service_rate = 0;
+  EXPECT_THROW(TrafficSimulator(4, std::vector<bool>(4, false), bad, Rng(1)),
+               ConfigError);
+  EXPECT_THROW(TrafficSimulator(4, std::vector<bool>(3, false),
+                                TrafficConfig{}, Rng(1)),
+               ConfigError);
+}
+
+TEST(TrafficTest, GeneratesAtNonGatewaysOnly) {
+  LineWorld w;
+  TrafficSimulator sim(4, w.is_gateway, always_generate(), Rng(1));
+  sim.step(w.graph, w.tables, 0);
+  EXPECT_EQ(sim.stats().generated, 3u);  // nodes 1,2,3 — not the gateway
+}
+
+TEST(TrafficTest, DeliversOverRoutedLine) {
+  LineWorld w;
+  auto cfg = always_generate();
+  TrafficSimulator sim(4, w.is_gateway, cfg, Rng(2));
+  for (std::size_t t = 0; t < 20; ++t) sim.step(w.graph, w.tables, t);
+  sim.finish();
+  const auto& s = sim.stats();
+  EXPECT_GT(s.delivered, 0u);
+  EXPECT_EQ(s.dropped(), 0u);
+  EXPECT_EQ(s.generated, s.delivered + s.in_flight);
+  EXPECT_DOUBLE_EQ(s.delivery_ratio(), 1.0);
+}
+
+TEST(TrafficTest, LatencyBoundedByHopDistance) {
+  LineWorld w;
+  // Nodes sit 1..3 hops from the gateway, one hop per step: every latency
+  // lies in [1, horizon] and the one-hop node pins the minimum at 1.
+  TrafficSimulator sim(4, w.is_gateway, always_generate(), Rng(3));
+  for (std::size_t t = 0; t < 10; ++t) sim.step(w.graph, w.tables, t);
+  EXPECT_GE(sim.stats().latency.min(), 1.0);
+  EXPECT_LE(sim.stats().latency.max(), 10.0);
+}
+
+TEST(TrafficTest, NeverGenerateStaysIdle) {
+  LineWorld w;
+  TrafficSimulator sim(4, w.is_gateway, never_generate(), Rng(3));
+  for (std::size_t t = 0; t < 10; ++t) sim.step(w.graph, w.tables, t);
+  EXPECT_EQ(sim.stats().generated, 0u);
+  EXPECT_EQ(sim.queued(), 0u);
+}
+
+TEST(TrafficTest, NoRouteDropsAfterPatience) {
+  LineWorld w;
+  w.tables.clear(3);  // node 3 has no route
+  auto cfg = always_generate();
+  cfg.route_patience = 2;
+  TrafficSimulator sim(4, w.is_gateway, cfg, Rng(4));
+  for (std::size_t t = 0; t < 10; ++t) sim.step(w.graph, w.tables, t);
+  EXPECT_GT(sim.stats().dropped_no_route, 0u);
+}
+
+TEST(TrafficTest, DeadLinkDropsAfterPatience) {
+  LineWorld w;
+  w.graph.remove_edge(2, 1);  // route 2→1 points over a missing link
+  auto cfg = always_generate();
+  cfg.route_patience = 1;
+  TrafficSimulator sim(4, w.is_gateway, cfg, Rng(5));
+  for (std::size_t t = 0; t < 10; ++t) sim.step(w.graph, w.tables, t);
+  EXPECT_GT(sim.stats().dropped_link_down, 0u);
+}
+
+TEST(TrafficTest, PatienceZeroDropsImmediately) {
+  LineWorld w;
+  w.tables.clear(1);
+  auto cfg = always_generate();
+  cfg.route_patience = 0;
+  TrafficSimulator sim(4, w.is_gateway, cfg, Rng(6));
+  sim.step(w.graph, w.tables, 0);
+  // Packet at node 1 could not move and patience is 0 → dropped same step.
+  EXPECT_EQ(sim.stats().dropped_no_route, 1u);
+}
+
+TEST(TrafficTest, TtlExhaustionDrops) {
+  // Two nodes routing to each other in a cycle; gateway unreachable.
+  Graph g(3);
+  g.add_undirected_edge(1, 2);
+  RoutingTables t(3);
+  t.force(1, {2, 0, 1, 0});
+  t.force(2, {1, 0, 1, 0});
+  auto cfg = always_generate();
+  cfg.ttl = 4;
+  cfg.route_patience = 100;  // patience never fires; ttl must
+  TrafficSimulator sim(3, {true, false, false}, cfg, Rng(7));
+  for (std::size_t step = 0; step < 20; ++step) sim.step(g, t, step);
+  EXPECT_GT(sim.stats().dropped_ttl, 0u);
+  EXPECT_EQ(sim.stats().delivered, 0u);
+}
+
+TEST(TrafficTest, QueueCapacityDrops) {
+  LineWorld w;
+  auto cfg = always_generate();
+  cfg.queue_capacity = 1;
+  cfg.service_rate = 1;
+  // Node 2 receives node 3's packets plus generates its own: overflow.
+  TrafficSimulator sim(4, w.is_gateway, cfg, Rng(8));
+  for (std::size_t t = 0; t < 20; ++t) sim.step(w.graph, w.tables, t);
+  EXPECT_GT(sim.stats().dropped_queue_full, 0u);
+}
+
+TEST(TrafficTest, ServiceRateBoundsThroughput) {
+  LineWorld w;
+  auto slow = always_generate();
+  slow.service_rate = 1;
+  slow.queue_capacity = 1000;
+  auto fast = always_generate();
+  fast.service_rate = 8;
+  fast.queue_capacity = 1000;
+  TrafficSimulator sim_slow(4, w.is_gateway, slow, Rng(9));
+  TrafficSimulator sim_fast(4, w.is_gateway, fast, Rng(9));
+  for (std::size_t t = 0; t < 30; ++t) {
+    sim_slow.step(w.graph, w.tables, t);
+    sim_fast.step(w.graph, w.tables, t);
+  }
+  EXPECT_GT(sim_fast.stats().delivered, sim_slow.stats().delivered);
+}
+
+TEST(TrafficTest, ConservationInvariant) {
+  LineWorld w;
+  auto cfg = always_generate();
+  cfg.queue_capacity = 2;
+  cfg.service_rate = 1;
+  TrafficSimulator sim(4, w.is_gateway, cfg, Rng(10));
+  for (std::size_t t = 0; t < 50; ++t) {
+    sim.step(w.graph, w.tables, t);
+    const auto& s = sim.stats();
+    ASSERT_EQ(s.generated, s.delivered + s.dropped() + sim.queued())
+        << "packets must be conserved at step " << t;
+  }
+}
+
+TEST(TrafficTest, DeterministicForSameSeed) {
+  LineWorld w;
+  TrafficConfig cfg;
+  cfg.packets_per_node_per_step = 0.4;
+  TrafficSimulator a(4, w.is_gateway, cfg, Rng(11));
+  TrafficSimulator b(4, w.is_gateway, cfg, Rng(11));
+  for (std::size_t t = 0; t < 50; ++t) {
+    a.step(w.graph, w.tables, t);
+    b.step(w.graph, w.tables, t);
+  }
+  EXPECT_EQ(a.stats().generated, b.stats().generated);
+  EXPECT_EQ(a.stats().delivered, b.stats().delivered);
+}
+
+TEST(TrafficStatsTest, DeliveryRatioEdgeCases) {
+  TrafficStats s;
+  EXPECT_DOUBLE_EQ(s.delivery_ratio(), 0.0);
+  s.delivered = 3;
+  s.dropped_ttl = 1;
+  EXPECT_DOUBLE_EQ(s.delivery_ratio(), 0.75);
+}
+
+}  // namespace
+}  // namespace agentnet

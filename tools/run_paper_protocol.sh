@@ -1,0 +1,21 @@
+#!/bin/sh
+# Runs every figure and extension bench at the paper's protocol (40 runs per
+# setting, full sweeps) and tees the log. From the repository root:
+#
+#   cmake -B build -G Ninja && cmake --build build
+#   tools/run_paper_protocol.sh [output-file]
+#
+# Takes a few minutes; the quick default settings (no env vars) take ~1 min.
+set -eu
+
+out="${1:-paper_protocol_results.txt}"
+bench_dir="build/bench"
+[ -d "$bench_dir" ] || { echo "build first: cmake --build build" >&2; exit 1; }
+
+AGENTNET_RUNS=40 AGENTNET_FULL=1 sh -c '
+  for b in '"$bench_dir"'/fig* '"$bench_dir"'/ext*; do
+    echo "##### $(basename "$b")"
+    "$b"
+  done
+' | tee "$out"
+echo "wrote $out" >&2
