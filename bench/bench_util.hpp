@@ -6,12 +6,15 @@
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "common/env.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "experiments/mapping_experiments.hpp"
 #include "experiments/paper.hpp"
 #include "experiments/routing_experiments.hpp"
@@ -23,11 +26,13 @@ inline void print_header(const std::string& figure,
   std::cout << "=== " << figure << " ===\n"
             << "paper: " << paper_result << "\n"
             << "runs per setting: " << runs
-            << " (set AGENTNET_RUNS=40 for the paper protocol)\n\n";
+            << " (set AGENTNET_RUNS=40 for the paper protocol)\n"
+            << "threads: " << ThreadPool::default_threads()
+            << " (AGENTNET_THREADS; results identical at any setting)\n\n";
 }
 
-/// The paper's mapping network (300 nodes / ≈2164 directed edges), built
-/// once per process.
+/// The paper's mapping network (300 nodes / ≈2164 bidirectional links,
+/// ≈4328 directed arcs), built once per process.
 inline const GeneratedNetwork& mapping_network() {
   static const GeneratedNetwork net =
       paper_mapping_network(paper::kMappingNetworkSeed);
@@ -50,15 +55,23 @@ inline RoutingTaskConfig paper_routing_task() {
 }
 
 /// Prints a result table and, when AGENTNET_CSV_DIR is set, also writes it
-/// to <dir>/<figure_id>.csv for external plotting.
+/// to <dir>/<figure_id>.csv for external plotting. The directory is created
+/// if missing; an unwritable destination is an error, not a silent skip.
 inline void finish_table(const std::string& figure_id, const Table& table) {
   table.print(std::cout);
   if (const auto dir = env_string("AGENTNET_CSV_DIR")) {
+    std::error_code ec;
+    std::filesystem::create_directories(*dir, ec);
+    if (ec) {
+      std::cerr << "error: cannot create AGENTNET_CSV_DIR " << *dir << ": "
+                << ec.message() << "\n";
+      throw ConfigError("cannot create AGENTNET_CSV_DIR " + *dir);
+    }
     const std::string path = *dir + "/" + figure_id + ".csv";
     std::ofstream os(path);
     if (!os.is_open()) {
-      std::cerr << "cannot write " << path << "\n";
-      return;
+      std::cerr << "error: cannot write " << path << "\n";
+      throw ConfigError("cannot write " + path);
     }
     table.write_csv(os);
     std::cout << "(csv written to " << path << ")\n";

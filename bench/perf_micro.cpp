@@ -5,6 +5,7 @@
 
 #include "core/mapping_task.hpp"
 #include "core/routing_task.hpp"
+#include "experiments/mapping_experiments.hpp"
 #include "geom/spatial_grid.hpp"
 #include "mobility/mobility.hpp"
 #include "net/generators.hpp"
@@ -72,6 +73,23 @@ void BM_MappingStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 50 * pop);
 }
 BENCHMARK(BM_MappingStep)->Arg(1)->Arg(15)->Arg(100);
+
+void BM_MappingExperiment(benchmark::State& state) {
+  // The replication fan-out path the figure benches run on; arg = worker
+  // threads (1 = exact serial loop, 0 = AGENTNET_THREADS / all cores).
+  const auto threads = static_cast<int>(state.range(0));
+  MappingTaskConfig cfg;
+  cfg.population = 15;
+  cfg.agent = {MappingPolicy::kConscientious, StigmergyMode::kFilterFirst};
+  cfg.max_steps = 60;
+  cfg.record_series = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_mapping_experiment(net300(), cfg, 8, 1, threads));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_MappingExperiment)->Arg(1)->Arg(0)->UseRealTime();
 
 void BM_ConnectivityMeasure(benchmark::State& state) {
   const RoutingScenario scenario{RoutingScenarioParams{}, 2010};

@@ -30,9 +30,11 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/options.hpp"
+#include "common/parallel_for.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "core/map_knowledge.hpp"
 #include "core/mapping_agent.hpp"
 #include "core/mapping_task.hpp"

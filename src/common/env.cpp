@@ -62,4 +62,11 @@ int bench_runs(int fallback) {
 
 bool bench_full() { return env_bool("AGENTNET_FULL", false); }
 
+int bench_threads() {
+  auto threads = env_int("AGENTNET_THREADS", 0);
+  AGENTNET_REQUIRE(threads >= 0 && threads <= 1024,
+                   "AGENTNET_THREADS out of range");
+  return static_cast<int>(threads);
+}
+
 }  // namespace agentnet

@@ -30,4 +30,9 @@ int bench_runs(int fallback);
 /// Whether to run full paper-scale sweeps (AGENTNET_FULL, default false).
 bool bench_full();
 
+/// Worker threads for multi-run experiments (AGENTNET_THREADS). 0 / unset
+/// means "one per hardware thread"; 1 selects the exact serial path.
+/// Results are bit-identical at every setting (see docs/ARCHITECTURE.md).
+int bench_threads();
+
 }  // namespace agentnet

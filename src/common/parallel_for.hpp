@@ -1,0 +1,65 @@
+// Static index-chunked parallel dispatch over a ThreadPool.
+//
+// The experiment harness's determinism contract (docs/ARCHITECTURE.md,
+// "Determinism & parallelism") only needs indices to be *executed* in any
+// order and *combined* in index order; this header provides the execution
+// half. fn(i) must be safe to call concurrently for distinct i — in
+// practice, each index writes its own pre-allocated slot.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace agentnet {
+
+/// Runs fn(i) for every i in [0, n), splitting the range into one
+/// contiguous, statically assigned chunk per pool worker. Blocks until all
+/// chunks finish, then rethrows the first failing chunk's exception (in
+/// chunk order).
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(pool.size(), n);
+  if (chunks <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  std::vector<std::future<void>> done;
+  done.reserve(chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    done.push_back(pool.submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+    begin = end;
+  }
+  // Wait for everything first so fn stays alive, then surface failures.
+  for (auto& f : done) f.wait();
+  for (auto& f : done) f.get();
+}
+
+/// Convenience form: resolves the worker count (0 → AGENTNET_THREADS /
+/// hardware_concurrency) and builds a transient pool. When one worker
+/// suffices this is the *exact* serial loop `for (i) fn(i)` — no pool, no
+/// threads — so `AGENTNET_THREADS=1` reproduces pre-pool behaviour.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, std::size_t threads = 0) {
+  std::size_t want = threads == 0 ? ThreadPool::default_threads() : threads;
+  want = std::min(want, n);
+  if (want <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(want);
+  parallel_for(pool, n, std::forward<Fn>(fn));
+}
+
+}  // namespace agentnet

@@ -54,6 +54,13 @@ class SeriesAccumulator {
 
   void add(const std::vector<double>& series);
 
+  /// Folds another accumulator in, per step. Accumulators of different
+  /// lengths combine with padded-tail semantics: the shorter side behaves
+  /// as if every series it saw had been extended with its final value (the
+  /// same padding the mapping harness applies to finished runs), i.e. its
+  /// last cell stands in for the missing tail cells.
+  void merge(const SeriesAccumulator& other);
+
   std::size_t length() const { return cells_.size(); }
   std::size_t runs() const { return runs_; }
   std::vector<double> mean() const;

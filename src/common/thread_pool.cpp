@@ -1,0 +1,57 @@
+#include "common/thread_pool.hpp"
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace agentnet {
+
+std::size_t ThreadPool::default_threads() {
+  const int configured = bench_threads();
+  if (configured > 0) return static_cast<std::size_t>(configured);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_threads();
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> wrapped(std::move(task));
+  std::future<void> done = wrapped.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    AGENTNET_REQUIRE(!stop_, "submit on a stopping ThreadPool");
+    queue_.push_back(std::move(wrapped));
+  }
+  cv_.notify_one();
+  return done;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the submitter's future
+  }
+}
+
+}  // namespace agentnet

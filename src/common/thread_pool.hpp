@@ -1,0 +1,50 @@
+// Fixed-size worker pool for fanning independent work across cores.
+//
+// The experiment harness uses it to run replications in parallel: each run
+// is a pure function of (config, seed), so the only coordination needed is
+// handing out indices and joining at the end (see parallel_for.hpp). Sized
+// by AGENTNET_THREADS (common/env.hpp); `AGENTNET_THREADS=1` means callers
+// take the plain serial path and no pool is built at all.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace agentnet {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 → default_threads(). Workers live until
+  /// destruction, which drains the queue and joins.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. The returned future's get() rethrows any exception
+  /// the task threw, so failures on worker threads are never lost.
+  std::future<void> submit(std::function<void()> task);
+
+  /// AGENTNET_THREADS when set (≥ 1), else hardware_concurrency (≥ 1).
+  static std::size_t default_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace agentnet

@@ -1,27 +1,43 @@
 #include "experiments/mapping_experiments.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel_for.hpp"
 #include "sim/world.hpp"
 
 namespace agentnet {
 
 MappingSummary run_mapping_experiment(const GeneratedNetwork& network,
                                       const MappingTaskConfig& task,
-                                      int runs, std::uint64_t run_seed_base) {
+                                      int runs, std::uint64_t run_seed_base,
+                                      int threads) {
   AGENTNET_REQUIRE(runs >= 1, "need at least one run");
+  AGENTNET_REQUIRE(threads >= 0, "threads must be >= 0");
+
+  // Fan the replications out: run r is a pure function of (task, seed + r)
+  // and writes only its own slot, so execution order is irrelevant.
+  std::vector<MappingTaskResult> results(static_cast<std::size_t>(runs));
+  parallel_for(
+      results.size(),
+      [&](std::size_t r) {
+        World world = World::frozen(network);
+        results[r] = run_mapping_task(
+            world, task, Rng(run_seed_base + static_cast<std::uint64_t>(r)));
+      },
+      static_cast<std::size_t>(threads));
+
+  // Combine in run-index order — the exact aggregation the serial loop
+  // performed, so summaries are bit-identical at every thread count.
   MappingSummary summary;
   summary.runs = runs;
   std::vector<std::vector<double>> series;
-  series.reserve(static_cast<std::size_t>(runs));
-  for (int r = 0; r < runs; ++r) {
-    World world = World::frozen(network);
-    MappingTaskResult result = run_mapping_task(
-        world, task, Rng(run_seed_base + static_cast<std::uint64_t>(r)));
+  series.reserve(results.size());
+  for (auto& result : results) {
     if (result.finished)
-      summary.finishing_time.add(
-          static_cast<double>(result.finishing_time));
+      summary.finishing_time.add(static_cast<double>(result.finishing_time));
     else
       ++summary.unfinished;
     if (task.record_series) series.push_back(std::move(result.mean_knowledge));

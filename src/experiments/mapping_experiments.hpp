@@ -23,9 +23,15 @@ struct MappingSummary {
   SeriesAccumulator knowledge;
 };
 
+/// Runs `runs` independent replications (run r is seeded run_seed_base + r)
+/// and aggregates them. Replications execute on a worker pool — `threads`
+/// 0 means AGENTNET_THREADS / hardware_concurrency, 1 the exact serial
+/// loop — but are always combined in run-index order, so the summary is
+/// bit-identical at every thread count.
 MappingSummary run_mapping_experiment(const GeneratedNetwork& network,
                                       const MappingTaskConfig& task,
-                                      int runs, std::uint64_t run_seed_base);
+                                      int runs, std::uint64_t run_seed_base,
+                                      int threads = 0);
 
 /// Decimates a per-step series to at most `max_points` evenly spaced
 /// samples (always keeping the final step) for tabular figure output.

@@ -1,19 +1,37 @@
 #include "experiments/routing_experiments.hpp"
 
+#include <vector>
+
 #include "common/error.hpp"
+#include "common/parallel_for.hpp"
 
 namespace agentnet {
 
 RoutingSummary run_routing_experiment(const RoutingScenario& scenario,
                                       const RoutingTaskConfig& task,
-                                      int runs,
-                                      std::uint64_t run_seed_base) {
+                                      int runs, std::uint64_t run_seed_base,
+                                      int threads) {
   AGENTNET_REQUIRE(runs >= 1, "need at least one run");
+  AGENTNET_REQUIRE(threads >= 0, "threads must be >= 0");
+
+  // Fan the replications out: run r is a pure function of (scenario, task,
+  // seed + r) and writes only its own slot (the scenario is immutable and
+  // each task stamps out its own World).
+  std::vector<RoutingTaskResult> results(static_cast<std::size_t>(runs));
+  parallel_for(
+      results.size(),
+      [&](std::size_t r) {
+        results[r] = run_routing_task(
+            scenario, task,
+            Rng(run_seed_base + static_cast<std::uint64_t>(r)));
+      },
+      static_cast<std::size_t>(threads));
+
+  // Combine in run-index order — the exact aggregation the serial loop
+  // performed, so summaries are bit-identical at every thread count.
   RoutingSummary summary;
   summary.runs = runs;
-  for (int r = 0; r < runs; ++r) {
-    RoutingTaskResult result = run_routing_task(
-        scenario, task, Rng(run_seed_base + static_cast<std::uint64_t>(r)));
+  for (const auto& result : results) {
     summary.mean_connectivity.add(result.mean_connectivity);
     summary.window_stddev.add(result.stddev_connectivity);
     summary.connectivity.add(result.connectivity);

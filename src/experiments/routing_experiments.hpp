@@ -24,8 +24,14 @@ struct RoutingSummary {
   SeriesAccumulator oracle;
 };
 
+/// Runs `runs` independent replications (run r is seeded run_seed_base + r)
+/// and aggregates them. Replications execute on a worker pool — `threads`
+/// 0 means AGENTNET_THREADS / hardware_concurrency, 1 the exact serial
+/// loop — but are always combined in run-index order, so the summary is
+/// bit-identical at every thread count.
 RoutingSummary run_routing_experiment(const RoutingScenario& scenario,
                                       const RoutingTaskConfig& task,
-                                      int runs, std::uint64_t run_seed_base);
+                                      int runs, std::uint64_t run_seed_base,
+                                      int threads = 0);
 
 }  // namespace agentnet

@@ -59,8 +59,8 @@ struct TargetEdgeParams {
 GeneratedNetwork generate_target_edge_network(const TargetEdgeParams& params,
                                               std::uint64_t seed);
 
-/// The paper's mapping network: 300 nodes, ≈2164 directed edges, strongly
-/// connected. Deterministic in `seed`.
+/// The paper's mapping network: 300 nodes, ≈2164 bidirectional links
+/// (≈4328 directed arcs), strongly connected. Deterministic in `seed`.
 GeneratedNetwork paper_mapping_network(std::uint64_t seed);
 
 // ---- Non-geometric graph families ------------------------------------------

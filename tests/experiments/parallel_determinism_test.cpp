@@ -1,0 +1,234 @@
+// Regression suite for the parallel replication engine: experiment
+// summaries must be bit-identical at every thread count, and the mergeable
+// accumulators must agree with their single-pass references.
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel_for.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "experiments/mapping_experiments.hpp"
+#include "experiments/routing_experiments.hpp"
+
+namespace agentnet {
+namespace {
+
+GeneratedNetwork tiny_network() {
+  TargetEdgeParams params;
+  params.geometry.node_count = 50;
+  params.target_edges = 260;
+  params.tolerance = 0.05;
+  return generate_target_edge_network(params, 3);
+}
+
+RoutingScenario tiny_scenario() {
+  RoutingScenarioParams params;
+  params.node_count = 50;
+  params.gateway_count = 4;
+  params.bounds = {{0.0, 0.0}, {350.0, 350.0}};
+  params.trace_steps = 60;
+  return RoutingScenario(params, 17);
+}
+
+void expect_identical(const RunningStats& a, const RunningStats& b) {
+  ASSERT_EQ(a.count(), b.count());
+  if (a.empty()) return;
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+void expect_identical(const SeriesAccumulator& a, const SeriesAccumulator& b) {
+  ASSERT_EQ(a.length(), b.length());
+  ASSERT_EQ(a.runs(), b.runs());
+  for (std::size_t i = 0; i < a.length(); ++i)
+    expect_identical(a.at(i), b.at(i));
+}
+
+// The paper protocol's guarantee: AGENTNET_THREADS only changes wall-clock,
+// never a single bit of any table. {1, 2, 7} covers the serial path, an
+// even split and a worker count that does not divide the run count.
+TEST(ParallelDeterminismTest, MappingBitIdenticalAcrossThreadCounts) {
+  const auto net = tiny_network();
+  MappingTaskConfig task;
+  task.population = 4;
+  task.agent = {MappingPolicy::kConscientious, StigmergyMode::kFilterFirst};
+  const auto serial = run_mapping_experiment(net, task, 9, 42, /*threads=*/1);
+  for (int threads : {2, 7}) {
+    SCOPED_TRACE(threads);
+    const auto parallel = run_mapping_experiment(net, task, 9, 42, threads);
+    EXPECT_EQ(parallel.runs, serial.runs);
+    EXPECT_EQ(parallel.unfinished, serial.unfinished);
+    expect_identical(parallel.finishing_time, serial.finishing_time);
+    expect_identical(parallel.knowledge, serial.knowledge);
+  }
+}
+
+TEST(ParallelDeterminismTest, RoutingBitIdenticalAcrossThreadCounts) {
+  const auto scenario = tiny_scenario();
+  RoutingTaskConfig task;
+  task.population = 15;
+  task.steps = 60;
+  task.measure_from = 30;
+  task.record_oracle = true;
+  const auto serial =
+      run_routing_experiment(scenario, task, 5, 70, /*threads=*/1);
+  for (int threads : {2, 7}) {
+    SCOPED_TRACE(threads);
+    const auto parallel = run_routing_experiment(scenario, task, 5, 70, threads);
+    EXPECT_EQ(parallel.runs, serial.runs);
+    expect_identical(parallel.mean_connectivity, serial.mean_connectivity);
+    expect_identical(parallel.window_stddev, serial.window_stddev);
+    expect_identical(parallel.connectivity, serial.connectivity);
+    expect_identical(parallel.oracle, serial.oracle);
+  }
+}
+
+TEST(ParallelDeterminismTest, ThreadsEnvKnobDrivesDefaultPath) {
+  const auto net = tiny_network();
+  MappingTaskConfig task;
+  task.population = 3;
+  task.agent = {MappingPolicy::kRandom, StigmergyMode::kOff};
+  const auto serial = run_mapping_experiment(net, task, 6, 7, /*threads=*/1);
+  ASSERT_EQ(setenv("AGENTNET_THREADS", "7", 1), 0);
+  const auto via_env = run_mapping_experiment(net, task, 6, 7);
+  unsetenv("AGENTNET_THREADS");
+  expect_identical(via_env.finishing_time, serial.finishing_time);
+  expect_identical(via_env.knowledge, serial.knowledge);
+}
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce) {
+  std::vector<int> hits(1000, 0);
+  ThreadPool pool(5);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1);
+}
+
+TEST(ParallelForTest, PropagatesWorkerExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_for(pool, 100,
+                            [](std::size_t i) {
+                              if (i == 57) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, SerialFallbackWithoutPool) {
+  std::vector<int> hits(17, 0);
+  parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; },
+               /*threads=*/1);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(RunningStatsMergeTest, MatchesSinglePassReference) {
+  Rng rng(99);
+  std::vector<double> values(257);
+  for (auto& v : values) v = rng.normal(5.0, 3.0);
+
+  RunningStats reference;
+  for (double v : values) reference.add(v);
+
+  RunningStats parts[3];
+  for (std::size_t i = 0; i < values.size(); ++i)
+    parts[i % 3].add(values[i]);
+  RunningStats merged;
+  for (const auto& part : parts) merged.merge(part);
+
+  EXPECT_EQ(merged.count(), reference.count());
+  EXPECT_NEAR(merged.mean(), reference.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), reference.variance(), 1e-10);
+  EXPECT_EQ(merged.min(), reference.min());
+  EXPECT_EQ(merged.max(), reference.max());
+}
+
+TEST(RunningStatsMergeTest, EmptySidesAreIdentity) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(3.0);
+  RunningStats empty;
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+  empty.merge(stats);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(empty.variance(), stats.variance());
+}
+
+TEST(SeriesAccumulatorMergeTest, EqualLengthMatchesSinglePass) {
+  const std::vector<std::vector<double>> series = {
+      {1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}, {2.0, 2.0, 2.0}};
+  SeriesAccumulator reference;
+  for (const auto& s : series) reference.add(s);
+
+  SeriesAccumulator left, right;
+  left.add(series[0]);
+  left.add(series[1]);
+  right.add(series[2]);
+  right.add(series[3]);
+  left.merge(right);
+
+  ASSERT_EQ(left.length(), reference.length());
+  ASSERT_EQ(left.runs(), reference.runs());
+  for (std::size_t i = 0; i < left.length(); ++i) {
+    EXPECT_NEAR(left.at(i).mean(), reference.at(i).mean(), 1e-12);
+    EXPECT_NEAR(left.at(i).variance(), reference.at(i).variance(), 1e-12);
+  }
+}
+
+TEST(SeriesAccumulatorMergeTest, PaddedTailMatchesSerialPadding) {
+  // The mapping harness pads a finished run's series with its final value;
+  // merging accumulators of different lengths must agree with that.
+  std::vector<double> long_run = {0.1, 0.4, 0.8, 0.9, 1.0};
+  std::vector<double> short_run = {0.2, 0.7, 1.0};
+
+  SeriesAccumulator reference;
+  reference.add(long_run);
+  std::vector<double> padded = short_run;
+  padded.resize(long_run.size(), short_run.back());
+  reference.add(padded);
+
+  SeriesAccumulator merged, shorter;
+  merged.add(long_run);
+  shorter.add(short_run);
+  merged.merge(shorter);
+
+  ASSERT_EQ(merged.length(), reference.length());
+  ASSERT_EQ(merged.runs(), reference.runs());
+  for (std::size_t i = 0; i < merged.length(); ++i) {
+    EXPECT_NEAR(merged.at(i).mean(), reference.at(i).mean(), 1e-12);
+    EXPECT_NEAR(merged.at(i).variance(), reference.at(i).variance(), 1e-12);
+    EXPECT_EQ(merged.at(i).min(), reference.at(i).min());
+    EXPECT_EQ(merged.at(i).max(), reference.at(i).max());
+  }
+
+  // Symmetric case: the longer accumulator arrives second.
+  SeriesAccumulator other;
+  other.add(short_run);
+  other.merge([&] {
+    SeriesAccumulator longer;
+    longer.add(long_run);
+    return longer;
+  }());
+  ASSERT_EQ(other.length(), reference.length());
+  for (std::size_t i = 0; i < other.length(); ++i)
+    EXPECT_NEAR(other.at(i).mean(), reference.at(i).mean(), 1e-12);
+}
+
+TEST(SeriesAccumulatorMergeTest, MergeIntoEmptyCopies) {
+  SeriesAccumulator filled;
+  filled.add({1.0, 2.0});
+  SeriesAccumulator empty;
+  empty.merge(filled);
+  ASSERT_EQ(empty.length(), 2u);
+  EXPECT_EQ(empty.runs(), 1u);
+  EXPECT_DOUBLE_EQ(empty.at(1).mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace agentnet

@@ -2,11 +2,28 @@
 # Runs every figure and extension bench at the paper's protocol (40 runs per
 # setting, full sweeps) and tees the log. From the repository root:
 #
-#   cmake -B build -G Ninja && cmake --build build
+#   cmake -B build && cmake --build build -j
 #   tools/run_paper_protocol.sh [output-file]
 #
-# Takes a few minutes; the quick default settings (no env vars) take ~1 min.
+# Replications fan out across cores (AGENTNET_THREADS, default all); the
+# tables are bit-identical at any thread count. The quick default settings
+# (no env vars) take ~1 min serial.
+#
+#   tools/run_paper_protocol.sh --smoke
+#
+# instead builds the parallel determinism suite under ThreadSanitizer
+# (-DAGENTNET_SANITIZE=thread, separate build-tsan/ tree) and runs it —
+# a fast data-race check on the replication engine, not a bench sweep.
 set -eu
+
+if [ "${1:-}" = "--smoke" ]; then
+  cmake -B build-tsan -S . -DAGENTNET_SANITIZE=thread
+  cmake --build build-tsan --target parallel_determinism_test -j"$(nproc)"
+  echo "##### parallel_determinism_test (TSan)"
+  AGENTNET_THREADS=7 build-tsan/tests/parallel_determinism_test
+  echo "TSan smoke passed" >&2
+  exit 0
+fi
 
 out="${1:-paper_protocol_results.txt}"
 bench_dir="build/bench"
