@@ -18,8 +18,41 @@
 #include "experiments/mapping_experiments.hpp"
 #include "experiments/paper.hpp"
 #include "experiments/routing_experiments.hpp"
+#include "obs/obs.hpp"
 
 namespace agentnet::bench {
+
+/// Writes the process-cumulative phase timing table (and any non-zero
+/// counters) as `#`-prefixed comment lines. Used for the CSV footer and the
+/// stderr report — out-of-band in both places, so stdout result tables stay
+/// byte-stable and diffable whether or not telemetry is compiled in.
+inline void write_obs_report(std::ostream& os) {
+#if AGENTNET_OBS_LEVEL >= 1
+  os << "# threads," << ThreadPool::default_threads() << "\n";
+  const obs::PhaseSnapshot phases = obs::snapshot(obs::current_obs().phases);
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    const auto phase = static_cast<obs::Phase>(i);
+    const auto entry = phases.at(phase);
+    if (entry.calls == 0) continue;
+    char line[160];
+    std::snprintf(line, sizeof(line), "# phase,%s,%llu,%.3f\n",
+                  obs::phase_name(phase),
+                  static_cast<unsigned long long>(entry.calls),
+                  static_cast<double>(entry.ns) / 1e6);
+    os << line;
+  }
+  const obs::MetricsSnapshot counters =
+      obs::snapshot(obs::current_obs().counters);
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    const auto counter = static_cast<obs::Counter>(i);
+    if (counters.values[i] == 0) continue;
+    os << "# counter," << obs::counter_name(counter) << ","
+       << counters.values[i] << "\n";
+  }
+#else
+  (void)os;
+#endif
+}
 
 inline void print_header(const std::string& figure,
                          const std::string& paper_result, int runs) {
@@ -74,8 +107,14 @@ inline void finish_table(const std::string& figure_id, const Table& table) {
       throw ConfigError("cannot write " + path);
     }
     table.write_csv(os);
+    // Footer: resolved thread count plus phase timings / counters
+    // accumulated so far in this process, as CSV comment lines.
+    write_obs_report(os);
     std::cout << "(csv written to " << path << ")\n";
   }
+  // The same report goes to stderr so interactive runs see it without
+  // perturbing the diffable stdout tables.
+  write_obs_report(std::cerr);
 }
 
 /// Prints a knowledge-over-time series as a table of ≤ max_points rows.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace agentnet {
 
@@ -37,6 +38,7 @@ double AntRoutingSystem::pheromone(NodeId from, NodeId to) const {
 
 void AntRoutingSystem::account_hop(const Ant& ant) {
   ++ant_hops_;
+  AGENTNET_COUNT(kAntHops);
   control_bytes_ += 16 + 8 * ant.path.size();
 }
 
@@ -131,6 +133,7 @@ void AntRoutingSystem::step(const Graph& graph, std::size_t now) {
       ant.path.push_back(v);
       ants_.push_back(std::move(ant));
       ++ants_launched_;
+      AGENTNET_COUNT(kAntsLaunched);
     }
   }
 

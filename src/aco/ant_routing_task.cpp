@@ -1,6 +1,7 @@
 #include "aco/ant_routing_task.hpp"
 
 #include "common/stats.hpp"
+#include "obs/obs.hpp"
 #include "routing/connectivity.hpp"
 
 namespace agentnet {
@@ -10,19 +11,26 @@ AntRoutingResult run_ant_routing_task(const RoutingScenario& scenario,
                                       Rng rng) {
   AGENTNET_REQUIRE(config.measure_from < config.steps,
                    "measure_from must precede steps");
+  obs::ScopedPhase setup_phase(obs::Phase::kSetup);
   World world = scenario.make_world();
   AntRoutingSystem ants(world.node_count(), scenario.is_gateway(),
                         config.ants, rng);
   AntRoutingResult result;
   result.connectivity.reserve(config.steps);
+  setup_phase.stop();
   for (std::size_t t = 0; t < config.steps; ++t) {
-    ants.step(world.graph(), t);
+    {
+      AGENTNET_OBS_PHASE(kStep);
+      ants.step(world.graph(), t);
+    }
     world.advance();
+    AGENTNET_OBS_PHASE(kMeasure);
     const RoutingTables tables = ants.snapshot_tables(t);
     result.connectivity.push_back(
         measure_connectivity(world.graph(), tables, scenario.is_gateway())
             .fraction());
   }
+  AGENTNET_OBS_PHASE(kSummarize);
   RunningStats window;
   for (std::size_t t = config.measure_from; t < config.steps; ++t)
     window.add(result.connectivity[t]);

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "obs/obs.hpp"
 #include "routing/connectivity.hpp"
 
 namespace agentnet {
@@ -48,10 +49,12 @@ void DvAgent::arrive(const Graph& graph, const std::vector<bool>& is_gateway,
       // Accept improvements outright; equal-or-worse refreshes only rewrite
       // the estimate (mobility makes old better values untrustworthy).
       if (it == table_.end() || best <= it->second.distance ||
-          now > it->second.updated + config_.entry_ttl / 2)
+          now > it->second.updated + config_.entry_ttl / 2) {
         table_[location_] = {best, now};
-      else
+        AGENTNET_COUNT(kDvRelaxations);
+      } else {
         it->second.updated = now;
+      }
     }
   }
   trim(now);
@@ -106,6 +109,7 @@ DvRoutingTaskResult run_dv_routing_task(const RoutingScenario& scenario,
   AGENTNET_REQUIRE(config.population >= 1, "population must be >= 1");
   AGENTNET_REQUIRE(config.measure_from < config.steps,
                    "measure_from must precede steps");
+  obs::ScopedPhase setup_phase(obs::Phase::kSetup);
   World world = scenario.make_world();
   const std::size_t n = world.node_count();
   const auto& is_gateway = scenario.is_gateway();
@@ -119,21 +123,36 @@ DvRoutingTaskResult run_dv_routing_task(const RoutingScenario& scenario,
 
   DvRoutingTaskResult result;
   result.connectivity.reserve(config.steps);
+  setup_phase.stop();
   for (std::size_t t = 0; t < config.steps; ++t) {
-    for (auto& agent : agents) agent.arrive(world.graph(), is_gateway, t);
+    AGENTNET_OBS_PHASE(kStep);
+    {
+      AGENTNET_OBS_PHASE(kSense);
+      for (auto& agent : agents) agent.arrive(world.graph(), is_gateway, t);
+    }
     std::vector<NodeId> targets(agents.size());
-    for (std::size_t i = 0; i < agents.size(); ++i)
-      targets[i] = agents[i].decide(world.graph(), t);
-    for (std::size_t i = 0; i < agents.size(); ++i) {
-      if (targets[i] != agents[i].location())
-        result.migration_bytes += agents[i].state_size_bytes();
-      agents[i].move_to(targets[i]);
-      agents[i].install(world.graph(), tables, is_gateway, t);
+    {
+      AGENTNET_OBS_PHASE(kDecide);
+      for (std::size_t i = 0; i < agents.size(); ++i)
+        targets[i] = agents[i].decide(world.graph(), t);
+    }
+    {
+      AGENTNET_OBS_PHASE(kMove);
+      for (std::size_t i = 0; i < agents.size(); ++i) {
+        if (targets[i] != agents[i].location()) {
+          result.migration_bytes += agents[i].state_size_bytes();
+          AGENTNET_COUNT(kAgentHops);
+        }
+        agents[i].move_to(targets[i]);
+        agents[i].install(world.graph(), tables, is_gateway, t);
+      }
     }
     world.advance();
+    AGENTNET_OBS_PHASE(kMeasure);
     result.connectivity.push_back(
         measure_connectivity(world.graph(), tables, is_gateway).fraction());
   }
+  AGENTNET_OBS_PHASE(kSummarize);
   RunningStats window;
   for (std::size_t t = config.measure_from; t < config.steps; ++t)
     window.add(result.connectivity[t]);

@@ -1,12 +1,22 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
 
 namespace agentnet {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Lazy so the environment is consulted exactly once, on first logging use
+// — examples and benches pick up AGENTNET_LOG_LEVEL with no code edits.
+std::atomic<LogLevel>& level_ref() {
+  static std::atomic<LogLevel> level{env_log_level(LogLevel::kWarn)};
+  return level;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,14 +33,35 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
+void set_log_level(LogLevel level) { level_ref().store(level); }
 
-LogLevel log_level() { return g_level.load(); }
+LogLevel log_level() { return level_ref().load(); }
+
+LogLevel parse_log_level(const std::string& text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text)
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "2") return LogLevel::kWarn;
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  if (lower == "off" || lower == "4") return LogLevel::kOff;
+  throw ConfigError("log level must be debug|info|warn|error|off or 0-4, got " +
+                    text);
+}
+
+LogLevel env_log_level(LogLevel fallback) {
+  const auto text = env_string("AGENTNET_LOG_LEVEL");
+  return text ? parse_log_level(*text) : fallback;
+}
 
 void log_message(LogLevel level, const std::string& message) {
-  if (level < g_level.load() || level == LogLevel::kOff) return;
+  if (level < log_level() || level == LogLevel::kOff) return;
   std::fprintf(stderr, "[agentnet %s] %s\n", level_name(level),
                message.c_str());
 }

@@ -1,5 +1,8 @@
 // Minimal leveled logging to stderr. Simulations are deterministic and
-// quiet by default; set level to Debug for per-step traces in examples.
+// quiet by default; set level to Debug for per-step traces in examples,
+// or export AGENTNET_LOG_LEVEL=debug to do the same without code edits.
+// Lines carry no timestamps by design: the same run logs byte-identical
+// output every time, so logs can be diffed like any other artifact.
 #pragma once
 
 #include <sstream>
@@ -9,10 +12,18 @@ namespace agentnet {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global threshold; messages below it are dropped. Defaults to kWarn so
-/// library users see problems but not chatter.
+/// Global threshold; messages below it are dropped. Initialised from
+/// AGENTNET_LOG_LEVEL on first use, defaulting to kWarn so library users
+/// see problems but not chatter.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses "debug" | "info" | "warn" | "error" | "off" (case-insensitive)
+/// or a numeric level 0–4; throws ConfigError on anything else.
+LogLevel parse_log_level(const std::string& text);
+
+/// The level AGENTNET_LOG_LEVEL selects, or `fallback` when unset.
+LogLevel env_log_level(LogLevel fallback);
 
 /// Emits one line "<LEVEL> <message>" to stderr if enabled.
 void log_message(LogLevel level, const std::string& message);

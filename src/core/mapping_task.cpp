@@ -5,6 +5,7 @@
 
 #include "common/dense_bitset.hpp"
 #include "common/log.hpp"
+#include "obs/obs.hpp"
 
 namespace agentnet {
 
@@ -78,6 +79,7 @@ std::vector<std::vector<std::size_t>> in_range_groups(
 MappingTaskResult run_mapping_task(World& world,
                                    const MappingTaskConfig& config, Rng rng) {
   AGENTNET_REQUIRE(config.population >= 1, "population must be >= 1");
+  obs::ScopedPhase setup_phase(obs::Phase::kSetup);
   const std::size_t n = world.node_count();
   MappingTaskResult result;
   result.truth_edges = config.truth_edges_override
@@ -96,6 +98,8 @@ MappingTaskResult run_mapping_task(World& world,
     const NodeId start = static_cast<NodeId>(rng.index(n));
     agents.emplace_back(static_cast<int>(a), start, n, roster[a],
                         rng.fork(static_cast<std::uint64_t>(a) + 1));
+    AGENTNET_OBS_EVENT(kSpawn, 0, static_cast<std::int64_t>(a),
+                       static_cast<std::int64_t>(start));
   }
 
   StigmergyBoard board(n, config.stigmergy_horizon,
@@ -126,20 +130,31 @@ MappingTaskResult run_mapping_task(World& world,
            static_cast<double>(truth.edge_count());
   };
 
+  setup_phase.stop();
   for (std::size_t t = 0; t <= config.max_steps; ++t) {
+    AGENTNET_OBS_PHASE(kStep);
     // Phase 1: every agent learns the out-edges of its node.
-    for (auto& agent : agents) agent.sense(world.graph(), t);
+    {
+      AGENTNET_OBS_PHASE(kSense);
+      for (auto& agent : agents) agent.sense(world.graph(), t);
+    }
 
     // Phase 2: direct communication within co-located (or, with
     // comm_radius 1, in-range) groups. Pool first, then distribute, so
     // exchange is simultaneous (order-free).
     if (config.communication && agents.size() > 1) {
+      AGENTNET_OBS_PHASE(kExchange);
       AGENTNET_REQUIRE(config.comm_radius <= 1,
                        "comm_radius must be 0 or 1");
       const auto groups = config.comm_radius == 0
                               ? colocated_groups(agents)
                               : in_range_groups(agents, world.graph());
       for (const auto& group : groups) {
+        AGENTNET_COUNT(kAgentMeetings);
+        AGENTNET_OBS_EVENT(
+            kMeet, t, -1,
+            static_cast<std::int64_t>(agents[group[0]].location()),
+            static_cast<std::int64_t>(group.size()));
         pooled_edges.clear();
         std::fill(pooled_visits.begin(), pooled_visits.end(), kNeverVisited);
         for (std::size_t idx : group) {
@@ -149,8 +164,13 @@ MappingTaskResult run_mapping_task(World& world,
           for (std::size_t i = 0; i < n; ++i)
             pooled_visits[i] = std::max(pooled_visits[i], visits[i]);
         }
-        for (std::size_t idx : group)
+        for (std::size_t idx : group) {
           agents[idx].learn_union(pooled_edges, pooled_visits);
+          AGENTNET_COUNT(kKnowledgeMerges);
+          AGENTNET_OBS_EVENT(
+              kMerge, t, static_cast<std::int64_t>(idx),
+              static_cast<std::int64_t>(agents[idx].location()));
+        }
       }
     }
 
@@ -171,22 +191,26 @@ MappingTaskResult run_mapping_task(World& world,
     }
 
     // Measurement + finishing check (knowledge is final for this step).
-    double min_fraction = 1.0;
-    double sum_fraction = 0.0;
-    for (const auto& agent : agents) {
-      const double f = knowledge_fraction(agent);
-      min_fraction = std::min(min_fraction, f);
-      sum_fraction += f;
-    }
-    if (config.record_series) {
-      result.mean_knowledge.push_back(sum_fraction /
-                                      static_cast<double>(agents.size()));
-      result.min_knowledge.push_back(min_fraction);
-    }
-    if (min_fraction >= 1.0) {
-      result.finished = true;
-      result.finishing_time = t;
-      return result;
+    {
+      AGENTNET_OBS_PHASE(kMeasure);
+      double min_fraction = 1.0;
+      double sum_fraction = 0.0;
+      for (const auto& agent : agents) {
+        const double f = knowledge_fraction(agent);
+        min_fraction = std::min(min_fraction, f);
+        sum_fraction += f;
+      }
+      if (config.record_series) {
+        result.mean_knowledge.push_back(sum_fraction /
+                                        static_cast<double>(agents.size()));
+        result.min_knowledge.push_back(min_fraction);
+      }
+      if (min_fraction >= 1.0) {
+        result.finished = true;
+        result.finishing_time = t;
+        AGENTNET_OBS_EVENT(kFinish, t);
+        return result;
+      }
     }
 
     // Phase 3+4: decide, stamp, move. Stigmergic agents decide in a fresh
@@ -194,19 +218,31 @@ MappingTaskResult run_mapping_task(World& world,
     // step — this is what disperses co-located identical-knowledge agents
     // (see DESIGN.md). Non-stigmergic agents ignore the board entirely, so
     // the ordering does not affect them.
-    rng.shuffle(std::span<std::size_t>(decide_order));
     std::vector<NodeId> targets(agents.size());
-    for (std::size_t idx : decide_order) {
-      MappingAgent& agent = agents[idx];
-      const NodeId target = agent.decide(world.graph(), board, t);
-      targets[idx] = target;
-      if (agent.stigmergic() && target != agent.location())
-        board.stamp(agent.location(), target, t);
+    {
+      AGENTNET_OBS_PHASE(kDecide);
+      rng.shuffle(std::span<std::size_t>(decide_order));
+      for (std::size_t idx : decide_order) {
+        MappingAgent& agent = agents[idx];
+        const NodeId target = agent.decide(world.graph(), board, t);
+        targets[idx] = target;
+        if (agent.stigmergic() && target != agent.location())
+          board.stamp(agent.location(), target, t);
+      }
     }
-    for (std::size_t idx = 0; idx < agents.size(); ++idx) {
-      if (targets[idx] != agents[idx].location())
-        result.migration_bytes += agents[idx].state_size_bytes();
-      agents[idx].move_to(targets[idx]);
+    {
+      AGENTNET_OBS_PHASE(kMove);
+      for (std::size_t idx = 0; idx < agents.size(); ++idx) {
+        if (targets[idx] != agents[idx].location()) {
+          result.migration_bytes += agents[idx].state_size_bytes();
+          AGENTNET_COUNT(kAgentHops);
+          AGENTNET_OBS_EVENT(
+              kMove, t, static_cast<std::int64_t>(idx),
+              static_cast<std::int64_t>(agents[idx].location()),
+              static_cast<std::int64_t>(targets[idx]));
+        }
+        agents[idx].move_to(targets[idx]);
+      }
     }
 
     if (config.advance_world) world.advance();

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/stats.hpp"
+#include "obs/obs.hpp"
 
 namespace agentnet {
 
@@ -225,6 +226,7 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
   AGENTNET_REQUIRE(config.population >= 1, "population must be >= 1");
   AGENTNET_REQUIRE(config.measure_from < config.steps,
                    "measure_from must precede steps");
+  obs::ScopedPhase setup_phase(obs::Phase::kSetup);
   World world = scenario.make_world();
   const std::size_t n = world.node_count();
   const auto& is_gateway = scenario.is_gateway();
@@ -244,6 +246,8 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
     const NodeId start = static_cast<NodeId>(rng.index(n));
     agents.emplace_back(static_cast<int>(a), start, roster[a],
                         rng.fork(static_cast<std::uint64_t>(a) + 1));
+    AGENTNET_OBS_EVENT(kSpawn, 0, static_cast<std::int64_t>(a),
+                       static_cast<std::int64_t>(start));
   }
   const bool any_communicates = [&] {
     for (const auto& cfg : roster)
@@ -275,7 +279,9 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
   const std::size_t target_population = roster.size();
   int next_agent_id = static_cast<int>(target_population);
 
+  setup_phase.stop();
   for (std::size_t t = 0; t < config.steps; ++t) {
+    AGENTNET_OBS_PHASE(kStep);
     // Phase 0: recovery — gateways (the nodes wired to the outside world)
     // launch replacement agents while the team is under strength.
     if (config.gateway_respawn_probability > 0.0) {
@@ -285,6 +291,9 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
           agents.emplace_back(
               next_agent_id, gw, config.agent,
               rng.fork(static_cast<std::uint64_t>(next_agent_id) + 1));
+          AGENTNET_COUNT(kAgentsRespawned);
+          AGENTNET_OBS_EVENT(kRespawn, t, next_agent_id,
+                             static_cast<std::int64_t>(gw));
           ++next_agent_id;
           ++result.agents_respawned;
         }
@@ -292,21 +301,27 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
     }
 
     // Phase 1: arrival bookkeeping (history + gateway hint refresh).
-    for (auto& agent : agents) agent.arrive(is_gateway, t);
+    {
+      AGENTNET_OBS_PHASE(kSense);
+      for (auto& agent : agents) agent.arrive(is_gateway, t);
+    }
 
     // Phase 2: decide on the live graph. Paper order: the movement decision
     // precedes the meeting exchange. Stigmergic agents stamp immediately so
     // later deciders this step disperse away from them.
-    decide_order.resize(agents.size());
-    std::iota(decide_order.begin(), decide_order.end(), 0);
-    rng.shuffle(std::span<std::size_t>(decide_order));
     std::vector<NodeId> targets(agents.size());
-    for (std::size_t idx : decide_order) {
-      RoutingAgent& agent = agents[idx];
-      const NodeId target = agent.decide(world.graph(), board, t);
-      targets[idx] = target;
-      if (agent.stigmergic() && target != agent.location())
-        board.stamp(agent.location(), target, t);
+    {
+      AGENTNET_OBS_PHASE(kDecide);
+      decide_order.resize(agents.size());
+      std::iota(decide_order.begin(), decide_order.end(), 0);
+      rng.shuffle(std::span<std::size_t>(decide_order));
+      for (std::size_t idx : decide_order) {
+        RoutingAgent& agent = agents[idx];
+        const NodeId target = agent.decide(world.graph(), board, t);
+        targets[idx] = target;
+        if (agent.stigmergic() && target != agent.location())
+          board.stamp(agent.location(), target, t);
+      }
     }
 
     // Phase 3: meetings — co-located *communicating* agents adopt the
@@ -314,11 +329,17 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
     // semantics), then apply. Non-communicating agents in the group
     // neither share nor learn.
     if (any_communicates && agents.size() > 1) {
+      AGENTNET_OBS_PHASE(kExchange);
       for (const auto& group : colocated_groups(agents)) {
         std::vector<std::size_t> talkers;
         for (std::size_t idx : group)
           if (agents[idx].config().communicate) talkers.push_back(idx);
         if (talkers.size() < 2) continue;
+        AGENTNET_COUNT(kAgentMeetings);
+        AGENTNET_OBS_EVENT(
+            kMeet, t, -1,
+            static_cast<std::int64_t>(agents[talkers[0]].location()),
+            static_cast<std::int64_t>(talkers.size()));
         RoutingAgent::RouteHint best;  // invalid
         for (std::size_t idx : talkers)
           if (RoutingAgent::hint_better(agents[idx].hint(), best))
@@ -334,7 +355,13 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
               it->second = std::max(it->second, step);
           }
         }
-        for (std::size_t idx : talkers) agents[idx].adopt(best, pooled);
+        for (std::size_t idx : talkers) {
+          agents[idx].adopt(best, pooled);
+          AGENTNET_COUNT(kKnowledgeMerges);
+          AGENTNET_OBS_EVENT(
+              kMerge, t, agents[idx].id(),
+              static_cast<std::int64_t>(agents[idx].location()));
+        }
       }
     }
 
@@ -344,19 +371,33 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
     // it neither arrives nor installs, and its state is gone.
     std::vector<char> lost(agents.size(), 0);
     bool any_lost = false;
-    for (std::size_t idx = 0; idx < agents.size(); ++idx) {
-      if (targets[idx] != agents[idx].location()) {
-        if (config.agent_loss_probability > 0.0 &&
-            fault_rng.bernoulli(config.agent_loss_probability)) {
-          lost[idx] = 1;
-          any_lost = true;
-          ++result.agents_lost;
-          continue;
+    {
+      AGENTNET_OBS_PHASE(kMove);
+      for (std::size_t idx = 0; idx < agents.size(); ++idx) {
+        if (targets[idx] != agents[idx].location()) {
+          if (config.agent_loss_probability > 0.0 &&
+              fault_rng.bernoulli(config.agent_loss_probability)) {
+            lost[idx] = 1;
+            any_lost = true;
+            ++result.agents_lost;
+            AGENTNET_COUNT(kAgentsLost);
+            AGENTNET_OBS_EVENT(kLost, t, agents[idx].id());
+            continue;
+          }
+          result.migration_bytes += agents[idx].state_size_bytes();
+          AGENTNET_COUNT(kAgentHops);
+          AGENTNET_OBS_EVENT(
+              kMove, t, agents[idx].id(),
+              static_cast<std::int64_t>(agents[idx].location()),
+              static_cast<std::int64_t>(targets[idx]));
         }
-        result.migration_bytes += agents[idx].state_size_bytes();
+        agents[idx].move_to(targets[idx]);
+        if (agents[idx].install(tables, is_gateway, t)) {
+          AGENTNET_OBS_EVENT(
+              kRouteUpdate, t, agents[idx].id(),
+              static_cast<std::int64_t>(agents[idx].location()));
+        }
       }
-      agents[idx].move_to(targets[idx]);
-      agents[idx].install(tables, is_gateway, t);
     }
     if (any_lost) {
       std::size_t write = 0;
@@ -372,21 +413,25 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
     // Environment advances; connectivity is measured on the new topology,
     // so freshly installed routes immediately face link churn.
     world.advance();
-    result.connectivity.push_back(
-        measure_connectivity(world.graph(), tables, is_gateway).fraction());
-    if (config.record_oracle)
-      result.oracle.push_back(
-          oracle_connectivity(world.graph(), is_gateway).fraction());
-    // Traffic flows over the converged window only, so delivery measures
-    // the steady state rather than the cold start.
-    if (traffic && t >= config.measure_from)
-      traffic->step(world.graph(), tables, t);
+    {
+      AGENTNET_OBS_PHASE(kMeasure);
+      result.connectivity.push_back(
+          measure_connectivity(world.graph(), tables, is_gateway).fraction());
+      if (config.record_oracle)
+        result.oracle.push_back(
+            oracle_connectivity(world.graph(), is_gateway).fraction());
+      // Traffic flows over the converged window only, so delivery measures
+      // the steady state rather than the cold start.
+      if (traffic && t >= config.measure_from)
+        traffic->step(world.graph(), tables, t);
+    }
   }
   if (traffic) {
     traffic->finish();
     result.traffic_stats = traffic->stats();
   }
 
+  AGENTNET_OBS_PHASE(kSummarize);
   result.final_population = agents.size();
   RunningStats window;
   for (std::size_t t = config.measure_from; t < config.steps; ++t)

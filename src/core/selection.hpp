@@ -22,6 +22,7 @@
 #include "common/rng.hpp"
 #include "core/stigmergy.hpp"
 #include "net/graph.hpp"
+#include "obs/obs.hpp"
 
 namespace agentnet {
 
@@ -75,7 +76,10 @@ NodeId select_target(std::span<const NodeId> neighbors, KeyFn&& key,
     unmarked.reserve(pool.size());
     for (NodeId v : pool)
       if (!board.marked(at, v, now)) unmarked.push_back(v);
-    if (!unmarked.empty()) pool = std::move(unmarked);
+    if (!unmarked.empty()) {
+      if (unmarked.size() < pool.size()) AGENTNET_COUNT(kStigmergyAvoidances);
+      pool = std::move(unmarked);
+    }
   }
 
   std::vector<NodeId> best;
@@ -105,7 +109,10 @@ NodeId select_target(std::span<const NodeId> neighbors, KeyFn&& key,
     unmarked.reserve(best.size());
     for (NodeId v : best)
       if (!board.marked(at, v, now)) unmarked.push_back(v);
-    if (!unmarked.empty()) best = std::move(unmarked);
+    if (!unmarked.empty()) {
+      if (unmarked.size() < best.size()) AGENTNET_COUNT(kStigmergyAvoidances);
+      best = std::move(unmarked);
+    }
   }
 
   if (tie_break == TieBreak::kSharedHash) {

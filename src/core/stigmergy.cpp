@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace agentnet {
 
@@ -15,6 +16,9 @@ StigmergyBoard::StigmergyBoard(std::size_t node_count, std::size_t horizon,
 
 void StigmergyBoard::stamp(NodeId at, NodeId target, std::size_t now) {
   AGENTNET_ASSERT(at < boards_.size());
+  AGENTNET_COUNT(kStigmergyStamps);
+  AGENTNET_OBS_EVENT(kStamp, now, -1, static_cast<std::int64_t>(at),
+                     static_cast<std::int64_t>(target));
   auto& board = boards_[at];
   // Refresh an existing footprint for the same target.
   for (auto& fp : board) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace agentnet {
 
 Battery::Battery(BatteryParams params) : params_(params) {
@@ -30,7 +32,17 @@ BatteryBank::BatteryBank(std::size_t node_count,
 }
 
 void BatteryBank::step() {
-  for (auto& b : batteries_) b.step();
+  ++tick_;
+  for (std::size_t i = 0; i < batteries_.size(); ++i) {
+    Battery& b = batteries_[i];
+    const bool was_alive = !b.depleted();
+    b.step();
+    if (was_alive && b.depleted()) {
+      AGENTNET_COUNT(kBatteryDeaths);
+      AGENTNET_OBS_EVENT(kBatteryDeath, tick_, -1,
+                         static_cast<std::int64_t>(i));
+    }
+  }
 }
 
 bool BatteryBank::on_battery(std::size_t node) const {

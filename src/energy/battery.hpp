@@ -56,6 +56,7 @@ class BatteryBank {
  private:
   std::vector<Battery> batteries_;
   std::vector<bool> on_battery_;
+  std::size_t tick_ = 0;  ///< Steps advanced; timestamps depletion events.
 };
 
 }  // namespace agentnet

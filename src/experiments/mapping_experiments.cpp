@@ -13,9 +13,15 @@ namespace agentnet {
 MappingSummary run_mapping_experiment(const GeneratedNetwork& network,
                                       const MappingTaskConfig& task,
                                       int runs, std::uint64_t run_seed_base,
-                                      int threads) {
+                                      int threads, const ObsConfig& obs) {
   AGENTNET_REQUIRE(runs >= 1, "need at least one run");
   AGENTNET_REQUIRE(threads >= 0, "threads must be >= 0");
+
+  // One telemetry slot per run: each replication counts and traces into its
+  // own shard, merged in run-index order below.
+  std::vector<obs::RunObs> slots(static_cast<std::size_t>(runs));
+  if (obs.trace_path)
+    for (auto& slot : slots) slot.trace.enable();
 
   // Fan the replications out: run r is a pure function of (task, seed + r)
   // and writes only its own slot, so execution order is irrelevant.
@@ -23,11 +29,25 @@ MappingSummary run_mapping_experiment(const GeneratedNetwork& network,
   parallel_for(
       results.size(),
       [&](std::size_t r) {
+        obs::ObsRunScope scope(slots[r]);
         World world = World::frozen(network);
         results[r] = run_mapping_task(
             world, task, Rng(run_seed_base + static_cast<std::uint64_t>(r)));
       },
       static_cast<std::size_t>(threads));
+
+  obs::RunObs& dest = obs.sink ? *obs.sink : obs::current_obs();
+  {
+    obs::ObsRunScope merge_scope(dest);
+    AGENTNET_OBS_PHASE(kMerge);
+    for (const auto& slot : slots) obs::merge_into(dest, slot);
+    if (obs.trace_path) {
+      std::vector<const obs::TraceBuffer*> buffers;
+      buffers.reserve(slots.size());
+      for (const auto& slot : slots) buffers.push_back(&slot.trace);
+      obs::write_trace(*obs.trace_path, obs.trace_format, buffers);
+    }
+  }
 
   // Combine in run-index order — the exact aggregation the serial loop
   // performed, so summaries are bit-identical at every thread count.

@@ -9,6 +9,7 @@
 #include "common/stats.hpp"
 #include "core/mapping_task.hpp"
 #include "net/generators.hpp"
+#include "obs/obs.hpp"
 
 namespace agentnet {
 
@@ -27,11 +28,16 @@ struct MappingSummary {
 /// and aggregates them. Replications execute on a worker pool — `threads`
 /// 0 means AGENTNET_THREADS / hardware_concurrency, 1 the exact serial
 /// loop — but are always combined in run-index order, so the summary is
-/// bit-identical at every thread count.
+/// bit-identical at every thread count. Each run gets its own telemetry
+/// slot (counters, phase timings, optional trace buffer), merged in run
+/// order into `obs.sink` (or the caller's current slot); with a trace path
+/// set the per-run event streams are appended to it (docs/OBSERVABILITY.md).
 MappingSummary run_mapping_experiment(const GeneratedNetwork& network,
                                       const MappingTaskConfig& task,
                                       int runs, std::uint64_t run_seed_base,
-                                      int threads = 0);
+                                      int threads = 0,
+                                      const ObsConfig& obs =
+                                          ObsConfig::from_env());
 
 /// Decimates a per-step series to at most `max_points` evenly spaced
 /// samples (always keeping the final step) for tabular figure output.

@@ -8,6 +8,7 @@
 
 #include "common/stats.hpp"
 #include "core/routing_task.hpp"
+#include "obs/obs.hpp"
 
 namespace agentnet {
 
@@ -28,10 +29,15 @@ struct RoutingSummary {
 /// and aggregates them. Replications execute on a worker pool — `threads`
 /// 0 means AGENTNET_THREADS / hardware_concurrency, 1 the exact serial
 /// loop — but are always combined in run-index order, so the summary is
-/// bit-identical at every thread count.
+/// bit-identical at every thread count. Each run gets its own telemetry
+/// slot (counters, phase timings, optional trace buffer), merged in run
+/// order into `obs.sink` (or the caller's current slot); with a trace path
+/// set the per-run event streams are appended to it (docs/OBSERVABILITY.md).
 RoutingSummary run_routing_experiment(const RoutingScenario& scenario,
                                       const RoutingTaskConfig& task,
                                       int runs, std::uint64_t run_seed_base,
-                                      int threads = 0);
+                                      int threads = 0,
+                                      const ObsConfig& obs =
+                                          ObsConfig::from_env());
 
 }  // namespace agentnet

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace agentnet {
 
@@ -17,6 +18,7 @@ LinkStateFlooding::LinkStateFlooding(std::size_t node_count,
 }
 
 void LinkStateFlooding::step(const Graph& graph, std::size_t now) {
+  AGENTNET_OBS_PHASE(kStep);
   AGENTNET_REQUIRE(graph.node_count() == databases_.size(),
                    "graph size does not match flooding state");
   const std::size_t n = databases_.size();
@@ -67,6 +69,7 @@ void LinkStateFlooding::step(const Graph& graph, std::size_t now) {
       for (NodeId w : neighbors) {
         in_flight_.push_back({w, lsa});
         ++messages_;
+        AGENTNET_COUNT(kLsaMessages);
         bytes_ += lsa_bytes(lsa);
       }
     }

@@ -1,6 +1,7 @@
 #include "net/link_noise.hpp"
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace agentnet {
 
@@ -37,7 +38,10 @@ bool LinkFlapper::down(NodeId u, NodeId v, std::size_t step) const {
 void LinkFlapper::apply(Graph& graph, std::size_t step) const {
   if (drop_probability_ <= 0.0) return;
   for (const Edge& e : graph.edges())
-    if (down(e.from, e.to, step)) graph.remove_edge(e.from, e.to);
+    if (down(e.from, e.to, step)) {
+      graph.remove_edge(e.from, e.to);
+      AGENTNET_COUNT(kLinkFlaps);
+    }
 }
 
 }  // namespace agentnet

@@ -1,0 +1,48 @@
+#include "obs/metrics.hpp"
+
+namespace agentnet::obs {
+
+const char* counter_name(Counter counter) {
+  switch (counter) {
+    case Counter::kAgentHops:
+      return "agent_hops";
+    case Counter::kAgentMeetings:
+      return "agent_meetings";
+    case Counter::kKnowledgeMerges:
+      return "knowledge_merges";
+    case Counter::kStigmergyStamps:
+      return "stigmergy_stamps";
+    case Counter::kStigmergyAvoidances:
+      return "stigmergy_avoidances";
+    case Counter::kRouteTableUpdates:
+      return "route_table_updates";
+    case Counter::kBatteryDeaths:
+      return "battery_deaths";
+    case Counter::kLinkFlaps:
+      return "link_flaps";
+    case Counter::kAgentsLost:
+      return "agents_lost";
+    case Counter::kAgentsRespawned:
+      return "agents_respawned";
+    case Counter::kAntsLaunched:
+      return "ants_launched";
+    case Counter::kAntHops:
+      return "ant_hops";
+    case Counter::kLsaMessages:
+      return "lsa_messages";
+    case Counter::kDvRelaxations:
+      return "dv_relaxations";
+    case Counter::kCount:
+      break;
+  }
+  return "?";
+}
+
+MetricsSnapshot snapshot(const CounterSlot& slot) {
+  MetricsSnapshot out;
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    out.values[i] = slot.value(static_cast<Counter>(i));
+  return out;
+}
+
+}  // namespace agentnet::obs

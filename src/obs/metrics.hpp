@@ -1,0 +1,79 @@
+// Named simulation counters.
+//
+// Every counter is part of one fixed registry (the enum below) so a slot is
+// a flat array — incrementing is a single relaxed atomic add, and merging
+// two slots is element-wise integer addition, which is exact and
+// order-independent. The experiment harness gives each replication its own
+// slot and merges them in run-index order, so totals are bit-identical at
+// every AGENTNET_THREADS setting (see docs/OBSERVABILITY.md).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/obs_level.hpp"
+
+namespace agentnet::obs {
+
+enum class Counter : std::size_t {
+  kAgentHops,            ///< Agent migrations over a link (all agent kinds).
+  kAgentMeetings,        ///< Meeting groups that exchanged state.
+  kKnowledgeMerges,      ///< Per-agent merges of pooled meeting state.
+  kStigmergyStamps,      ///< Footprints written to a stigmergy board.
+  kStigmergyAvoidances,  ///< Decisions where footprints demoted a neighbour.
+  kRouteTableUpdates,    ///< Accepted route offers (RoutingTables::offer).
+  kBatteryDeaths,        ///< Batteries newly drained to zero.
+  kLinkFlaps,            ///< Links removed by link weather (LinkFlapper).
+  kAgentsLost,           ///< Agents lost in transit (failure injection).
+  kAgentsRespawned,      ///< Replacement agents launched by gateways.
+  kAntsLaunched,         ///< Forward ants launched (ACO baseline).
+  kAntHops,              ///< Ant hops, forward + backward (ACO baseline).
+  kLsaMessages,          ///< LSA transmissions (flooding baseline).
+  kDvRelaxations,        ///< Accepted Bellman-Ford relaxations (DV agents).
+  kCount
+};
+
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(Counter::kCount);
+
+/// Stable snake_case name, used in reports and CSV footers.
+const char* counter_name(Counter counter);
+
+/// One shard of every counter. Relaxed atomics make the shared ambient slot
+/// safe under concurrency; per-run slots are single-writer anyway.
+class CounterSlot {
+ public:
+  void add(Counter counter, std::uint64_t n = 1) {
+    values_[static_cast<std::size_t>(counter)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  std::uint64_t value(Counter counter) const {
+    return values_[static_cast<std::size_t>(counter)].load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kCounterCount> values_{};
+};
+
+/// Plain-integer copy of a slot; comparable and mergeable.
+struct MetricsSnapshot {
+  std::array<std::uint64_t, kCounterCount> values{};
+
+  std::uint64_t value(Counter counter) const {
+    return values[static_cast<std::size_t>(counter)];
+  }
+  MetricsSnapshot& operator+=(const MetricsSnapshot& other) {
+    for (std::size_t i = 0; i < kCounterCount; ++i)
+      values[i] += other.values[i];
+    return *this;
+  }
+  friend bool operator==(const MetricsSnapshot&,
+                         const MetricsSnapshot&) = default;
+};
+
+MetricsSnapshot snapshot(const CounterSlot& slot);
+
+}  // namespace agentnet::obs

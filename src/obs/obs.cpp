@@ -1,0 +1,27 @@
+#include "obs/obs.hpp"
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace agentnet::obs {
+
+ObsConfig ObsConfig::from_env() {
+  ObsConfig config;
+#if AGENTNET_OBS_LEVEL >= 1
+  if (auto path = env_string("AGENTNET_TRACE"); path && !path->empty()) {
+    config.trace_path = std::move(*path);
+    if (auto format = env_string("AGENTNET_TRACE_FORMAT")) {
+      if (*format == "jsonl")
+        config.trace_format = TraceFormat::kJsonl;
+      else if (*format == "chrome")
+        config.trace_format = TraceFormat::kChrome;
+      else
+        throw ConfigError("AGENTNET_TRACE_FORMAT must be jsonl or chrome, got " +
+                          *format);
+    }
+  }
+#endif
+  return config;
+}
+
+}  // namespace agentnet::obs

@@ -1,0 +1,71 @@
+// Umbrella header for the telemetry subsystem: include this one from
+// instrumented code and use the AGENTNET_COUNT / AGENTNET_OBS_PHASE /
+// AGENTNET_OBS_EVENT macros. At AGENTNET_OBS_LEVEL 0 every macro expands
+// to nothing and the instrumentation costs zero instructions; at the
+// default level 1 a counter bump is one relaxed atomic increment on a
+// thread-private slot.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/obs_level.hpp"
+#include "obs/phase.hpp"
+#include "obs/scope.hpp"
+#include "obs/trace.hpp"
+
+namespace agentnet::obs {
+
+/// Observability knobs an experiment harness honours for one experiment.
+struct ObsConfig {
+  /// When set, every run's trace buffer is enabled and the streams are
+  /// appended to this path after the runs complete.
+  std::optional<std::string> trace_path;
+  TraceFormat trace_format = TraceFormat::kJsonl;
+  /// Where merged counters/phases land; nullptr = the caller's current
+  /// slot (usually the ambient one).
+  RunObs* sink = nullptr;
+
+  /// Reads AGENTNET_TRACE (path) and AGENTNET_TRACE_FORMAT
+  /// ("jsonl" | "chrome"). At AGENTNET_OBS_LEVEL 0 tracing stays off
+  /// regardless of the environment.
+  static ObsConfig from_env();
+};
+
+}  // namespace agentnet::obs
+
+namespace agentnet {
+using obs::ObsConfig;
+}  // namespace agentnet
+
+#if AGENTNET_OBS_LEVEL >= 1
+
+#define AGENTNET_COUNT(counter) \
+  ::agentnet::obs::count(::agentnet::obs::Counter::counter)
+#define AGENTNET_COUNT_N(counter, n) \
+  ::agentnet::obs::count(::agentnet::obs::Counter::counter, (n))
+
+#define AGENTNET_OBS_CONCAT_IMPL(a, b) a##b
+#define AGENTNET_OBS_CONCAT(a, b) AGENTNET_OBS_CONCAT_IMPL(a, b)
+
+/// Times the enclosing scope and charges it to `phase` (a Phase enumerator
+/// name, e.g. AGENTNET_OBS_PHASE(kSense)). Use a named ScopedPhase when an
+/// explicit early stop() is needed.
+#define AGENTNET_OBS_PHASE(phase)                              \
+  ::agentnet::obs::ScopedPhase AGENTNET_OBS_CONCAT(            \
+      agentnet_obs_phase_, __LINE__)(::agentnet::obs::Phase::phase)
+
+/// Emits a trace event when the current run is being traced:
+/// AGENTNET_OBS_EVENT(kind, step[, agent[, a[, b]]]).
+#define AGENTNET_OBS_EVENT(kind, ...) \
+  ::agentnet::obs::emit(::agentnet::obs::TraceEventKind::kind, __VA_ARGS__)
+
+#else  // AGENTNET_OBS_LEVEL == 0
+
+#define AGENTNET_COUNT(counter) ((void)0)
+#define AGENTNET_COUNT_N(counter, n) ((void)0)
+#define AGENTNET_OBS_PHASE(phase) ((void)0)
+#define AGENTNET_OBS_EVENT(kind, ...) ((void)0)
+
+#endif

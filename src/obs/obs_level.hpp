@@ -1,0 +1,15 @@
+// Compile-time observability level.
+//
+//   0 — every AGENTNET_COUNT / AGENTNET_OBS_PHASE / AGENTNET_OBS_EVENT
+//       expands to nothing: no atomics, no clock reads, no branches.
+//   1 — (default) counters, phase timers and the event tracer are compiled
+//       in. A counter costs one relaxed increment; an event costs a
+//       thread-local load and a branch unless tracing is enabled.
+//
+// Set globally with -DAGENTNET_OBS_LEVEL=<n> (the CMake cache variable of
+// the same name does this for the whole build). See docs/OBSERVABILITY.md.
+#pragma once
+
+#ifndef AGENTNET_OBS_LEVEL
+#define AGENTNET_OBS_LEVEL 1
+#endif

@@ -1,0 +1,43 @@
+#include "obs/phase.hpp"
+
+namespace agentnet::obs {
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kSetup:
+      return "setup";
+    case Phase::kSense:
+      return "sense";
+    case Phase::kExchange:
+      return "exchange";
+    case Phase::kDecide:
+      return "decide";
+    case Phase::kMove:
+      return "move";
+    case Phase::kMeasure:
+      return "measure";
+    case Phase::kWorldAdvance:
+      return "world_advance";
+    case Phase::kStep:
+      return "step";
+    case Phase::kMerge:
+      return "merge";
+    case Phase::kSummarize:
+      return "summarize";
+    case Phase::kCount:
+      break;
+  }
+  return "?";
+}
+
+PhaseSnapshot snapshot(const PhaseAccumulator& accumulator) {
+  PhaseSnapshot out;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const auto phase = static_cast<Phase>(i);
+    out.entries[i].calls = accumulator.calls(phase);
+    out.entries[i].ns = accumulator.ns(phase);
+  }
+  return out;
+}
+
+}  // namespace agentnet::obs

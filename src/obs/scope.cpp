@@ -1,0 +1,25 @@
+#include "obs/scope.hpp"
+
+namespace agentnet::obs {
+
+namespace detail {
+RunObs& ambient_obs() {
+  static RunObs* ambient = new RunObs();  // leaked: outlives every thread
+  return *ambient;
+}
+}  // namespace detail
+
+void merge_into(RunObs& dst, const RunObs& src) {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const auto counter = static_cast<Counter>(i);
+    if (const std::uint64_t v = src.counters.value(counter))
+      dst.counters.add(counter, v);
+  }
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const auto phase = static_cast<Phase>(i);
+    if (const std::uint64_t calls = src.phases.calls(phase))
+      dst.phases.add(phase, src.phases.ns(phase), calls);
+  }
+}
+
+}  // namespace agentnet::obs

@@ -1,0 +1,106 @@
+// The per-run observability context and its thread-local installation.
+//
+// A RunObs bundles one replication's counter shard, phase accumulator and
+// trace buffer. The experiment harness creates one per run, installs it on
+// the executing worker with an ObsRunScope for the duration of the run,
+// and merges the shards in run-index order afterwards — which is why
+// counters and event streams are bit-identical at every thread count.
+//
+// When no scope is installed, increments land in a process-wide ambient
+// slot (relaxed atomics, so that is safe from any thread); tracing is off
+// in the ambient slot.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/obs_level.hpp"
+#include "obs/phase.hpp"
+#include "obs/trace.hpp"
+
+namespace agentnet::obs {
+
+struct RunObs {
+  CounterSlot counters;
+  PhaseAccumulator phases;
+  TraceBuffer trace;
+};
+
+namespace detail {
+/// Process-wide fallback slot (tracing disabled).
+RunObs& ambient_obs();
+
+inline RunObs*& tls_obs() {
+  thread_local RunObs* slot = nullptr;
+  return slot;
+}
+}  // namespace detail
+
+/// The slot increments on this thread currently land in.
+inline RunObs& current_obs() {
+  RunObs* slot = detail::tls_obs();
+  return slot ? *slot : detail::ambient_obs();
+}
+
+/// Installs `obs` as this thread's slot for the scope's lifetime; nests.
+class ObsRunScope {
+ public:
+  explicit ObsRunScope(RunObs& obs) : prev_(detail::tls_obs()) {
+    detail::tls_obs() = &obs;
+  }
+  ~ObsRunScope() { detail::tls_obs() = prev_; }
+  ObsRunScope(const ObsRunScope&) = delete;
+  ObsRunScope& operator=(const ObsRunScope&) = delete;
+
+ private:
+  RunObs* prev_;
+};
+
+inline void count(Counter counter, std::uint64_t n = 1) {
+  current_obs().counters.add(counter, n);
+}
+
+inline void emit(TraceEventKind kind, std::uint64_t step,
+                 std::int64_t agent = -1, std::int64_t a = -1,
+                 std::int64_t b = -1) {
+  TraceBuffer& trace = current_obs().trace;
+  if (!trace.enabled()) return;
+  trace.append(TraceEvent{kind, step, agent, a, b});
+}
+
+/// RAII phase timer charging the *current* slot at destruction (or at an
+/// early stop()). A no-op shell at AGENTNET_OBS_LEVEL 0.
+class ScopedPhase {
+ public:
+#if AGENTNET_OBS_LEVEL >= 1
+  explicit ScopedPhase(Phase phase)
+      : phase_(phase), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedPhase() { stop(); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  void stop() {
+    if (done_) return;
+    done_ = true;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - start_);
+    current_obs().phases.add(phase_,
+                             static_cast<std::uint64_t>(elapsed.count()));
+  }
+
+ private:
+  Phase phase_;
+  std::chrono::steady_clock::time_point start_;
+  bool done_ = false;
+#else
+  explicit ScopedPhase(Phase) {}
+  void stop() {}
+#endif
+};
+
+/// Adds src's counters and phase timings into dst (exact integer sums;
+/// order-independent, but the harness still merges in run-index order).
+/// Trace buffers are not merged — they are written per run.
+void merge_into(RunObs& dst, const RunObs& src);
+
+}  // namespace agentnet::obs

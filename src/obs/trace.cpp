@@ -1,0 +1,288 @@
+#include "obs/trace.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace agentnet::obs {
+
+namespace {
+
+/// Field names for (agent, a, b) per kind; nullptr = field unused.
+struct KindFields {
+  const char* agent;
+  const char* a;
+  const char* b;
+};
+
+constexpr KindFields kKindFields[static_cast<std::size_t>(
+    TraceEventKind::kCount)] = {
+    /* spawn     */ {"agent", "node", nullptr},
+    /* move      */ {"agent", "from", "to"},
+    /* meet      */ {nullptr, "node", "size"},
+    /* merge     */ {"agent", "node", nullptr},
+    /* stamp     */ {nullptr, "node", "target"},
+    /* route     */ {"agent", "node", "hops"},
+    /* lost      */ {"agent", nullptr, nullptr},
+    /* respawn   */ {"agent", "node", nullptr},
+    /* death     */ {nullptr, "node", nullptr},
+    /* finish    */ {nullptr, nullptr, nullptr},
+    /* run_group */ {nullptr, "runs", nullptr},
+};
+
+const KindFields& fields_of(TraceEventKind kind) {
+  return kKindFields[static_cast<std::size_t>(kind)];
+}
+
+void append_field(std::string& out, const char* name, std::int64_t value) {
+  out += ",\"";
+  out += name;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+const char* trace_event_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSpawn:
+      return "spawn";
+    case TraceEventKind::kMove:
+      return "move";
+    case TraceEventKind::kMeet:
+      return "meet";
+    case TraceEventKind::kMerge:
+      return "merge";
+    case TraceEventKind::kStamp:
+      return "stamp";
+    case TraceEventKind::kRouteUpdate:
+      return "route";
+    case TraceEventKind::kLost:
+      return "lost";
+    case TraceEventKind::kRespawn:
+      return "respawn";
+    case TraceEventKind::kBatteryDeath:
+      return "death";
+    case TraceEventKind::kFinish:
+      return "finish";
+    case TraceEventKind::kRunGroup:
+      return "run_group";
+    case TraceEventKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::string serialize_trace_line(std::int64_t run, const TraceEvent& event) {
+  std::string out = "{";
+  if (run >= 0) {
+    out += "\"run\":";
+    out += std::to_string(run);
+    out += ",";
+  }
+  out += "\"ev\":\"";
+  out += trace_event_name(event.kind);
+  out += "\"";
+  if (event.kind != TraceEventKind::kRunGroup)
+    append_field(out, "step", static_cast<std::int64_t>(event.step));
+  const KindFields& fields = fields_of(event.kind);
+  if (fields.agent && event.agent >= 0)
+    append_field(out, fields.agent, event.agent);
+  if (fields.a && event.a >= 0) append_field(out, fields.a, event.a);
+  if (fields.b && event.b >= 0) append_field(out, fields.b, event.b);
+  out += "}";
+  return out;
+}
+
+std::string serialize_chrome_line(std::int64_t run, const TraceEvent& event) {
+  // Instant event on the (pid = run, tid = agent) track; ts is the
+  // simulation step interpreted as microseconds — deterministic, not
+  // wall-clock.
+  std::string out = "{\"name\":\"";
+  out += trace_event_name(event.kind);
+  out += "\",\"cat\":\"agentnet\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+  out += std::to_string(event.step);
+  out += ",\"pid\":";
+  out += std::to_string(run >= 0 ? run : 0);
+  out += ",\"tid\":";
+  out += std::to_string(event.agent >= 0 ? event.agent : 0);
+  out += ",\"args\":{";
+  const KindFields& fields = fields_of(event.kind);
+  bool first = true;
+  const auto arg = [&](const char* name, std::int64_t value) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+  };
+  if (fields.a && event.a >= 0) arg(fields.a, event.a);
+  if (fields.b && event.b >= 0) arg(fields.b, event.b);
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+/// Tokenizes a flat {"key":value,...} object of integer / string values.
+bool parse_flat_object(
+    const std::string& line,
+    std::vector<std::pair<std::string, std::string>>& pairs,
+    std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error) *error = message;
+    return false;
+  };
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return fail("expected '{'");
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      skip_ws();
+      if (i >= line.size() || line[i] != '"')
+        return fail("expected '\"' starting a key");
+      const std::size_t key_start = ++i;
+      while (i < line.size() && line[i] != '"') ++i;
+      if (i >= line.size()) return fail("unterminated key");
+      std::string key = line.substr(key_start, i - key_start);
+      ++i;
+      skip_ws();
+      if (i >= line.size() || line[i] != ':') return fail("expected ':'");
+      ++i;
+      skip_ws();
+      std::string value;
+      if (i < line.size() && line[i] == '"') {
+        const std::size_t value_start = ++i;
+        while (i < line.size() && line[i] != '"') ++i;
+        if (i >= line.size()) return fail("unterminated string value");
+        value = line.substr(value_start, i - value_start);
+        ++i;
+      } else {
+        const std::size_t value_start = i;
+        if (i < line.size() && line[i] == '-') ++i;
+        while (i < line.size() &&
+               std::isdigit(static_cast<unsigned char>(line[i])))
+          ++i;
+        if (i == value_start) return fail("expected integer or string value");
+        value = line.substr(value_start, i - value_start);
+      }
+      pairs.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+  skip_ws();
+  if (i != line.size()) return fail("trailing characters after '}'");
+  return true;
+}
+
+}  // namespace
+
+std::optional<TraceRecord> parse_trace_line(const std::string& line,
+                                            std::string* error) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  if (!parse_flat_object(line, pairs, error)) return std::nullopt;
+  const auto fail = [&](const std::string& message) {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+
+  TraceRecord record;
+  bool have_kind = false;
+  for (const auto& [key, value] : pairs) {
+    if (key == "ev") {
+      for (std::size_t k = 0;
+           k < static_cast<std::size_t>(TraceEventKind::kCount); ++k) {
+        if (value == trace_event_name(static_cast<TraceEventKind>(k))) {
+          record.event.kind = static_cast<TraceEventKind>(k);
+          have_kind = true;
+          break;
+        }
+      }
+      if (!have_kind) return fail("unknown event kind: " + value);
+    }
+  }
+  if (!have_kind) return fail("missing \"ev\" field");
+
+  const KindFields& fields = fields_of(record.event.kind);
+  for (const auto& [key, value] : pairs) {
+    if (key == "ev") continue;
+    std::int64_t parsed = 0;
+    try {
+      std::size_t pos = 0;
+      parsed = std::stoll(value, &pos);
+      if (pos != value.size()) throw std::invalid_argument(value);
+    } catch (const std::exception&) {
+      return fail("field " + key + " is not an integer: " + value);
+    }
+    if (key == "run")
+      record.run = parsed;
+    else if (key == "step" && record.event.kind != TraceEventKind::kRunGroup)
+      record.event.step = static_cast<std::uint64_t>(parsed);
+    else if (fields.agent && key == fields.agent)
+      record.event.agent = parsed;
+    else if (fields.a && key == fields.a)
+      record.event.a = parsed;
+    else if (fields.b && key == fields.b)
+      record.event.b = parsed;
+    else
+      return fail("unknown field \"" + key + "\" for event " +
+                  trace_event_name(record.event.kind));
+  }
+  return record;
+}
+
+void write_trace(const std::string& path, TraceFormat format,
+                 std::span<const TraceBuffer* const> buffers) {
+  // First write to a path in this process truncates; later writes append.
+  // Serialized so concurrent experiments cannot interleave run groups.
+  static std::mutex mutex;
+  static std::set<std::string>* opened = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(mutex);
+  const bool first = opened->insert(path).second;
+  std::ofstream os(path, first ? std::ios::trunc : std::ios::app);
+  AGENTNET_REQUIRE(os.is_open(), "cannot write trace file " + path);
+  if (format == TraceFormat::kJsonl) {
+    TraceEvent marker;
+    marker.kind = TraceEventKind::kRunGroup;
+    marker.a = static_cast<std::int64_t>(buffers.size());
+    os << serialize_trace_line(-1, marker) << "\n";
+    for (std::size_t run = 0; run < buffers.size(); ++run)
+      for (const TraceEvent& event : buffers[run]->events())
+        os << serialize_trace_line(static_cast<std::int64_t>(run), event)
+           << "\n";
+  } else {
+    // Trace Event JSON array format; the spec allows the closing ']' to be
+    // absent, which is what makes appending run groups legal.
+    if (first) os << "[\n";
+    for (std::size_t run = 0; run < buffers.size(); ++run)
+      for (const TraceEvent& event : buffers[run]->events())
+        os << serialize_chrome_line(static_cast<std::int64_t>(run), event)
+           << ",\n";
+  }
+  AGENTNET_REQUIRE(os.good(), "error while writing trace file " + path);
+}
+
+}  // namespace agentnet::obs

@@ -1,6 +1,7 @@
 #include "routing/routing_table.hpp"
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace agentnet {
 
@@ -32,7 +33,10 @@ bool RoutingTables::offer(NodeId node, const RouteEntry& candidate,
              candidate.installed_at >= current.installed_at) {
     install = true;  // same length, fresher timestamp
   }
-  if (install) current = candidate;
+  if (install) {
+    current = candidate;
+    AGENTNET_COUNT(kRouteTableUpdates);
+  }
   return install;
 }
 

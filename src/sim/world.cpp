@@ -1,6 +1,7 @@
 #include "sim/world.hpp"
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace agentnet {
 
@@ -51,6 +52,7 @@ World World::fixed(Graph graph) {
 }
 
 void World::advance() {
+  AGENTNET_OBS_PHASE(kWorldAdvance);
   mobility_->step(positions_);
   batteries_.step();
   ++step_;  // the rebuilt graph (incl. link weather) belongs to the new step

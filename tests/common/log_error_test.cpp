@@ -1,3 +1,5 @@
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
@@ -38,6 +40,28 @@ TEST(LogTest, StreamingMacroCompilesAndRuns) {
   AGENTNET_INFO() << "info";
   AGENTNET_WARN() << "warn";
   AGENTNET_ERROR() << "error";
+}
+
+TEST(LogTest, ParseLogLevelAcceptsNamesAndNumbers) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("0"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("4"), LogLevel::kOff);
+  EXPECT_THROW(parse_log_level("verbose"), ConfigError);
+  EXPECT_THROW(parse_log_level("5"), ConfigError);
+  EXPECT_THROW(parse_log_level(""), ConfigError);
+}
+
+TEST(LogTest, EnvLogLevelReadsVariable) {
+  ASSERT_EQ(setenv("AGENTNET_LOG_LEVEL", "debug", 1), 0);
+  EXPECT_EQ(env_log_level(LogLevel::kWarn), LogLevel::kDebug);
+  ASSERT_EQ(setenv("AGENTNET_LOG_LEVEL", "nonsense", 1), 0);
+  EXPECT_THROW(env_log_level(LogLevel::kWarn), ConfigError);
+  unsetenv("AGENTNET_LOG_LEVEL");
+  EXPECT_EQ(env_log_level(LogLevel::kWarn), LogLevel::kWarn);
 }
 
 TEST(LogTest, OffSuppressesEverything) {

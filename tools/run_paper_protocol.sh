@@ -11,17 +11,33 @@
 #
 #   tools/run_paper_protocol.sh --smoke
 #
-# instead builds the parallel determinism suite under ThreadSanitizer
-# (-DAGENTNET_SANITIZE=thread, separate build-tsan/ tree) and runs it —
-# a fast data-race check on the replication engine, not a bench sweep.
+# instead builds the parallel determinism + telemetry suites under
+# ThreadSanitizer (-DAGENTNET_SANITIZE=thread, separate build-tsan/ tree),
+# runs them, then drives one traced mapping run and one traced routing run
+# (AGENTNET_TRACE, 7 threads) and validates the JSONL event streams with
+# tools/trace_check — a fast data-race + schema check, not a bench sweep.
 set -eu
 
 if [ "${1:-}" = "--smoke" ]; then
   cmake -B build-tsan -S . -DAGENTNET_SANITIZE=thread
-  cmake --build build-tsan --target parallel_determinism_test -j"$(nproc)"
+  cmake --build build-tsan \
+    --target parallel_determinism_test obs_test agentnet_cli trace_check \
+    -j"$(nproc)"
   echo "##### parallel_determinism_test (TSan)"
   AGENTNET_THREADS=7 build-tsan/tests/parallel_determinism_test
-  echo "TSan smoke passed" >&2
+  echo "##### obs_test (TSan)"
+  AGENTNET_THREADS=7 build-tsan/tests/obs_test
+  echo "##### traced runs (TSan + trace_check)"
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  AGENTNET_THREADS=7 AGENTNET_TRACE="$tmp/map.jsonl" \
+    build-tsan/examples/agentnet_cli scenario=mapping nodes=60 edges=300 \
+    population=4 runs=3
+  AGENTNET_THREADS=7 AGENTNET_TRACE="$tmp/route.jsonl" \
+    build-tsan/examples/agentnet_cli scenario=routing nodes=50 gateways=4 \
+    population=10 runs=2
+  build-tsan/tools/trace_check "$tmp/map.jsonl" "$tmp/route.jsonl"
+  echo "TSan + trace smoke passed" >&2
   exit 0
 fi
 

@@ -1,0 +1,53 @@
+// Validates AGENTNET_TRACE jsonl files: every line must parse back through
+// obs::parse_trace_line (the strict round-tripping parser). Prints a per-
+// file event count and exits non-zero on the first malformed line. Used by
+// tools/run_paper_protocol.sh --smoke.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/trace.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_check <trace.jsonl>...\n");
+    return 2;
+  }
+  bool ok = true;
+  for (int arg = 1; arg < argc; ++arg) {
+    std::ifstream is(argv[arg]);
+    if (!is.is_open()) {
+      std::fprintf(stderr, "trace_check: cannot open %s\n", argv[arg]);
+      ok = false;
+      continue;
+    }
+    std::string line;
+    std::size_t line_no = 0, events = 0, groups = 0;
+    bool file_ok = true;
+    while (std::getline(is, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      std::string error;
+      const auto record = agentnet::obs::parse_trace_line(line, &error);
+      if (!record) {
+        std::fprintf(stderr, "trace_check: %s:%zu: %s\n", argv[arg], line_no,
+                     error.c_str());
+        file_ok = false;
+        break;
+      }
+      if (record->event.kind == agentnet::obs::TraceEventKind::kRunGroup)
+        ++groups;
+      else
+        ++events;
+    }
+    if (file_ok && groups == 0) {
+      std::fprintf(stderr, "trace_check: %s: no run_group marker\n", argv[arg]);
+      file_ok = false;
+    }
+    if (file_ok)
+      std::printf("trace_check: %s: %zu run groups, %zu events ok\n",
+                  argv[arg], groups, events);
+    ok = ok && file_ok;
+  }
+  return ok ? 0 : 1;
+}
