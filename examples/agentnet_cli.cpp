@@ -64,6 +64,10 @@ int run_mapping(Options& opts) {
       static_cast<std::size_t>(opts.get_int("horizon", 0));
   task.stigmergy_capacity =
       static_cast<std::size_t>(opts.get_int("capacity", 1));
+  // Chaos runs may never finish (agents keep dying); a bounded step budget
+  // makes degradation sweeps terminate. The default is the task's own.
+  task.max_steps = static_cast<std::size_t>(
+      opts.get_int("max_steps", static_cast<std::int64_t>(task.max_steps)));
   const int runs = static_cast<int>(opts.get_int("runs", 10));
   const std::string export_net = opts.get_string("export_net", "");
   const std::string export_dot = opts.get_string("export_dot", "");

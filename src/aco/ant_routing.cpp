@@ -28,6 +28,9 @@ AntRoutingSystem::AntRoutingSystem(std::size_t node_count,
                    "can never be sampled)");
   AGENTNET_REQUIRE(config.beta > 0.0, "beta must be > 0");
   AGENTNET_REQUIRE(config.ant_ttl >= 1, "ant ttl must be >= 1");
+  AGENTNET_REQUIRE(config.ant_loss_probability >= 0.0 &&
+                       config.ant_loss_probability <= 1.0,
+                   "ant loss probability must be in [0,1]");
 }
 
 double AntRoutingSystem::pheromone(NodeId from, NodeId to) const {
@@ -140,6 +143,12 @@ void AntRoutingSystem::step(const Graph& graph, std::size_t now) {
   // Advance every ant one hop.
   for (auto& ant : ants_) {
     if (ant.path.empty()) continue;
+    if (config_.ant_loss_probability > 0.0 &&
+        rng_.bernoulli(config_.ant_loss_probability)) {
+      ant.path.clear();  // lost in transit
+      AGENTNET_COUNT(kAgentsLost);
+      continue;
+    }
     if (ant.backward)
       advance_backward(ant, graph);
     else

@@ -40,6 +40,10 @@ struct AntRoutingConfig {
   std::uint32_t ant_ttl = 40;
   /// Concurrent-ant cap (drops launches beyond it).
   std::size_t max_ants = 4096;
+  /// Failure injection: per step, each in-flight ant is lost with this
+  /// probability (the control packet vanishes mid-hop). 0 draws nothing,
+  /// keeping fault-free runs on their historical RNG sequence.
+  double ant_loss_probability = 0.0;
 };
 
 class AntRoutingSystem {

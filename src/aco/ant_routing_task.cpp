@@ -1,6 +1,9 @@
 #include "aco/ant_routing_task.hpp"
 
+#include <optional>
+
 #include "common/stats.hpp"
+#include "fault/fault_injector.hpp"
 #include "obs/obs.hpp"
 #include "routing/connectivity.hpp"
 
@@ -11,23 +14,40 @@ AntRoutingResult run_ant_routing_task(const RoutingScenario& scenario,
                                       Rng rng) {
   AGENTNET_REQUIRE(config.measure_from < config.steps,
                    "measure_from must precede steps");
+  const FaultPlan& plan = config.faults;
+  plan.validate();
   obs::ScopedPhase setup_phase(obs::Phase::kSetup);
   World world = scenario.make_world();
-  AntRoutingSystem ants(world.node_count(), scenario.is_gateway(),
-                        config.ants, rng);
+  // Fork only when faults are live: an inert plan must leave the RNG
+  // sequence — and therefore the fault-free baseline — untouched.
+  std::optional<FaultInjector> injector;
+  if (plan.any()) {
+    Rng fault_stream = rng.fork(0xFA11);
+    injector.emplace(plan, fault_stream);
+  }
+  AntRoutingConfig ant_config = config.ants;
+  if (plan.agent_loss_probability > 0.0 &&
+      ant_config.ant_loss_probability == 0.0)
+    ant_config.ant_loss_probability = plan.agent_loss_probability;
+  AntRoutingSystem ants(world.node_count(), scenario.is_gateway(), ant_config,
+                        rng);
   AntRoutingResult result;
   result.connectivity.reserve(config.steps);
   setup_phase.stop();
   for (std::size_t t = 0; t < config.steps; ++t) {
     {
       AGENTNET_OBS_PHASE(kStep);
-      ants.step(world.graph(), t);
+      const Graph& live =
+          injector ? injector->live_graph(world, world.step()) : world.graph();
+      ants.step(live, t);
     }
     world.advance();
     AGENTNET_OBS_PHASE(kMeasure);
+    const Graph& measured =
+        injector ? injector->live_graph(world, world.step()) : world.graph();
     const RoutingTables tables = ants.snapshot_tables(t);
     result.connectivity.push_back(
-        measure_connectivity(world.graph(), tables, scenario.is_gateway())
+        measure_connectivity(measured, tables, scenario.is_gateway())
             .fraction());
   }
   AGENTNET_OBS_PHASE(kSummarize);

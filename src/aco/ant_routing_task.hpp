@@ -12,6 +12,10 @@ struct AntRoutingTaskConfig {
   AntRoutingConfig ants{};
   std::size_t steps = 300;
   std::size_t measure_from = 150;
+  /// The unified fault model (fault/fault_plan.hpp): topology faults mask
+  /// the graph the ants walk and the measurement sees; the plan's
+  /// agent_loss_probability maps onto ant loss unless `ants` sets its own.
+  FaultPlan faults;
 };
 
 AntRoutingResult run_ant_routing_task(const RoutingScenario& scenario,

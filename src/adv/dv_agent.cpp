@@ -1,9 +1,11 @@
 #include "adv/dv_agent.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "fault/fault_injector.hpp"
 #include "obs/obs.hpp"
 #include "routing/connectivity.hpp"
 
@@ -109,6 +111,8 @@ DvRoutingTaskResult run_dv_routing_task(const RoutingScenario& scenario,
   AGENTNET_REQUIRE(config.population >= 1, "population must be >= 1");
   AGENTNET_REQUIRE(config.measure_from < config.steps,
                    "measure_from must precede steps");
+  const FaultPlan& plan = config.faults;
+  plan.validate();
   obs::ScopedPhase setup_phase(obs::Phase::kSetup);
   World world = scenario.make_world();
   const std::size_t n = world.node_count();
@@ -121,37 +125,71 @@ DvRoutingTaskResult run_dv_routing_task(const RoutingScenario& scenario,
     agents.emplace_back(a, static_cast<NodeId>(rng.index(n)), config.agent,
                         rng.fork(static_cast<std::uint64_t>(a) + 1));
 
+  // Fork only when faults are live so an inert plan keeps the fault-free
+  // baseline on exactly its historical RNG sequence.
+  std::optional<FaultInjector> injector;
+  if (plan.any()) {
+    Rng fault_stream = rng.fork(0xFA11);
+    injector.emplace(plan, fault_stream);
+  }
+
   DvRoutingTaskResult result;
   result.connectivity.reserve(config.steps);
   setup_phase.stop();
   for (std::size_t t = 0; t < config.steps; ++t) {
     AGENTNET_OBS_PHASE(kStep);
+    const Graph& live =
+        injector ? injector->live_graph(world, world.step()) : world.graph();
     {
       AGENTNET_OBS_PHASE(kSense);
-      for (auto& agent : agents) agent.arrive(world.graph(), is_gateway, t);
+      for (auto& agent : agents) agent.arrive(live, is_gateway, t);
     }
     std::vector<NodeId> targets(agents.size());
     {
       AGENTNET_OBS_PHASE(kDecide);
       for (std::size_t i = 0; i < agents.size(); ++i)
-        targets[i] = agents[i].decide(world.graph(), t);
+        targets[i] = agents[i].decide(live, t);
     }
     {
       AGENTNET_OBS_PHASE(kMove);
+      std::vector<char> lost;
+      bool any_lost = false;
       for (std::size_t i = 0; i < agents.size(); ++i) {
         if (targets[i] != agents[i].location()) {
+          if (injector && plan.agent_loss_probability > 0.0 &&
+              injector->lose_in_transit()) {
+            if (lost.empty()) lost.assign(agents.size(), 0);
+            lost[i] = 1;
+            any_lost = true;
+            ++result.agents_lost;
+            AGENTNET_COUNT(kAgentsLost);
+            continue;
+          }
           result.migration_bytes += agents[i].state_size_bytes();
           AGENTNET_COUNT(kAgentHops);
         }
         agents[i].move_to(targets[i]);
-        agents[i].install(world.graph(), tables, is_gateway, t);
+        agents[i].install(live, tables, is_gateway, t);
+      }
+      if (any_lost) {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < agents.size(); ++i)
+          if (!lost[i]) {
+            if (keep != i) agents[keep] = std::move(agents[i]);
+            ++keep;
+          }
+        agents.erase(agents.begin() + static_cast<std::ptrdiff_t>(keep),
+                     agents.end());
       }
     }
     world.advance();
     AGENTNET_OBS_PHASE(kMeasure);
+    const Graph& measured =
+        injector ? injector->live_graph(world, world.step()) : world.graph();
     result.connectivity.push_back(
-        measure_connectivity(world.graph(), tables, is_gateway).fraction());
+        measure_connectivity(measured, tables, is_gateway).fraction());
   }
+  result.final_population = agents.size();
   AGENTNET_OBS_PHASE(kSummarize);
   RunningStats window;
   for (std::size_t t = config.measure_from; t < config.steps; ++t)

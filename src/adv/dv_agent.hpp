@@ -88,6 +88,10 @@ struct DvRoutingTaskConfig {
   std::size_t steps = 300;
   std::size_t measure_from = 150;
   RoutePolicy route_policy{30};
+  /// The unified fault model (fault/fault_plan.hpp): topology faults mask
+  /// the graph agents walk and the measurement sees; agent_loss_probability
+  /// kills migrating DV agents in transit.
+  FaultPlan faults;
 };
 
 struct DvRoutingTaskResult {
@@ -95,6 +99,9 @@ struct DvRoutingTaskResult {
   double mean_connectivity = 0.0;
   double stddev_connectivity = 0.0;
   std::size_t migration_bytes = 0;
+  /// Failure-injection bookkeeping (zero on fault-free runs).
+  std::size_t agents_lost = 0;
+  std::size_t final_population = 0;
 };
 
 /// Same loop shape and measurement protocol as run_routing_task.

@@ -11,6 +11,7 @@
 //             recorded traces
 //   net/      directed graph, topology builder, generators, metrics
 //   sim/      the simulated World
+//   fault/    deterministic fault injection + resilience (watchdog)
 //   routing/  routing tables, connectivity metrics
 //   traffic/  packet-level delivery over agent-maintained routes
 //   core/     the paper's agents and tasks (mapping + dynamic routing)
@@ -46,6 +47,9 @@
 #include "experiments/mapping_experiments.hpp"
 #include "experiments/paper.hpp"
 #include "experiments/routing_experiments.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/watchdog.hpp"
 #include "flooding/link_state.hpp"
 #include "geom/spatial_grid.hpp"
 #include "geom/vec2.hpp"

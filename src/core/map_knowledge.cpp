@@ -35,6 +35,12 @@ void MapKnowledge::learn_from(const MapKnowledge& peer) {
   combined_.merge(peer.combined_);
   for (std::size_t i = 0; i < node_count_; ++i)
     any_visit_[i] = std::max(any_visit_[i], peer.any_visit_[i]);
+  if (expiry_enabled_) {
+    second_recent_.merge(peer.combined_);
+    for (std::size_t i = 0; i < node_count_; ++i)
+      learned_visit_recent_[i] =
+          std::max(learned_visit_recent_[i], peer.any_visit_[i]);
+  }
 }
 
 void MapKnowledge::learn_union(const DenseBitset& edges,
@@ -47,6 +53,39 @@ void MapKnowledge::learn_union(const DenseBitset& edges,
   combined_.merge(edges);
   for (std::size_t i = 0; i < node_count_; ++i)
     any_visit_[i] = std::max(any_visit_[i], visits[i]);
+  if (expiry_enabled_) {
+    second_recent_.merge(edges);
+    for (std::size_t i = 0; i < node_count_; ++i)
+      learned_visit_recent_[i] =
+          std::max(learned_visit_recent_[i], visits[i]);
+  }
+}
+
+void MapKnowledge::expire_second_hand(std::size_t now, std::size_t ttl) {
+  if (ttl == 0) return;
+  if (!expiry_enabled_) {
+    // Lazy activation: hearsay absorbed before this point belongs to an
+    // epoch that is already ending, so it ages out at the first rotation.
+    expiry_enabled_ = true;
+    last_rotation_ = now;
+    second_recent_ = DenseBitset(node_count_ * node_count_);
+    learned_visit_prev_.assign(node_count_, kNeverVisited);
+    learned_visit_recent_.assign(node_count_, kNeverVisited);
+    return;
+  }
+  if (now < last_rotation_ + ttl) return;
+  // Epoch rotation: the closing epoch's hearsay becomes the surviving
+  // second-hand store; everything older is forgotten.
+  second_hand_ = second_recent_;
+  second_recent_.clear();
+  combined_ = first_hand_;
+  combined_.merge(second_hand_);
+  learned_visit_prev_ = learned_visit_recent_;
+  std::fill(learned_visit_recent_.begin(), learned_visit_recent_.end(),
+            kNeverVisited);
+  for (std::size_t i = 0; i < node_count_; ++i)
+    any_visit_[i] = std::max(first_hand_visit_[i], learned_visit_prev_[i]);
+  last_rotation_ = now;
 }
 
 bool MapKnowledge::knows_edge_first_hand(NodeId u, NodeId v) const {

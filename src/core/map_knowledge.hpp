@@ -37,6 +37,16 @@ class MapKnowledge {
   void learn_union(const DenseBitset& edges,
                    std::span<const std::int64_t> visits);
 
+  /// Resilience policy (fault subsystem): forgets second-hand knowledge
+  /// older than `ttl` steps. Implemented as epoch rotation — hearsay
+  /// survives the rotation that closes the epoch it was learned in and
+  /// drops at the next one, so its effective age at expiry is in
+  /// [ttl, 2·ttl). First-hand observations never expire. Call once per
+  /// step with the current time; `ttl` 0 is a no-op, and the first call
+  /// lazily allocates the epoch bookkeeping (fault-free agents pay no
+  /// memory for this).
+  void expire_second_hand(std::size_t now, std::size_t ttl);
+
   /// The agent's full (first ∪ second hand) edge set; used to pool group
   /// knowledge without exposing internals for mutation.
   const DenseBitset& combined_edges() const { return combined_; }
@@ -86,6 +96,14 @@ class MapKnowledge {
   DenseBitset combined_;  // first ∪ second, maintained incrementally
   std::vector<std::int64_t> first_hand_visit_;
   std::vector<std::int64_t> any_visit_;
+  // Expiry epoch bookkeeping, allocated on the first expire_second_hand
+  // call: hearsay learned in the current epoch, and learned-visit times
+  // split by epoch so any_visit_ can be rebuilt at rotation.
+  bool expiry_enabled_ = false;
+  std::size_t last_rotation_ = 0;
+  DenseBitset second_recent_;
+  std::vector<std::int64_t> learned_visit_prev_;
+  std::vector<std::int64_t> learned_visit_recent_;
 };
 
 }  // namespace agentnet

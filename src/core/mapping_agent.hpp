@@ -50,6 +50,12 @@ class MappingAgent {
   void learn_union(const DenseBitset& edges,
                    std::span<const std::int64_t> visits);
 
+  /// Resilience policy: forget hearsay older than `ttl` steps (epoch
+  /// rotation; see MapKnowledge::expire_second_hand).
+  void expire_second_hand(std::size_t now, std::size_t ttl) {
+    knowledge_.expire_second_hand(now, ttl);
+  }
+
   /// Phase 3: choose the next node. Returns the current location when the
   /// node has no out-neighbours (the agent waits).
   NodeId decide(const Graph& graph, const StigmergyBoard& board,

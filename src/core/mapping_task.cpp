@@ -5,6 +5,8 @@
 
 #include "common/dense_bitset.hpp"
 #include "common/log.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/watchdog.hpp"
 #include "obs/obs.hpp"
 
 namespace agentnet {
@@ -78,7 +80,20 @@ std::vector<std::vector<std::size_t>> in_range_groups(
 
 MappingTaskResult run_mapping_task(World& world,
                                    const MappingTaskConfig& config, Rng rng) {
+  // Config-bounds validation, mirroring the routing task's discipline:
+  // garbage is rejected up front instead of silently misbehaving.
   AGENTNET_REQUIRE(config.population >= 1, "population must be >= 1");
+  AGENTNET_REQUIRE(config.agent.randomness >= 0.0 &&
+                       config.agent.randomness <= 1.0,
+                   "agent randomness must be in [0,1]");
+  for (const MappingAgentConfig& member : config.team)
+    AGENTNET_REQUIRE(member.randomness >= 0.0 && member.randomness <= 1.0,
+                     "team member randomness must be in [0,1]");
+  AGENTNET_REQUIRE(config.comm_radius <= 1, "comm_radius must be 0 or 1");
+  AGENTNET_REQUIRE(config.stigmergy_capacity >= 1,
+                   "stigmergy capacity must be >= 1");
+  const FaultPlan& plan = config.faults;
+  plan.validate();
   obs::ScopedPhase setup_phase(obs::Phase::kSetup);
   const std::size_t n = world.node_count();
   MappingTaskResult result;
@@ -115,6 +130,34 @@ MappingTaskResult run_mapping_task(World& world,
   std::vector<std::size_t> decide_order(agents.size());
   std::iota(decide_order.begin(), decide_order.end(), 0);
 
+  // The fault injector exists only when the plan does something: an inert
+  // plan must not even fork the fault stream, because the fork advances
+  // the parent RNG and would perturb every fault-free sequence downstream.
+  std::optional<FaultInjector> injector;
+  if (plan.any()) {
+    Rng fault_stream = rng.fork(0xFA11);
+    injector.emplace(plan, fault_stream);
+  }
+  AgentWatchdog watchdog(plan.watchdog_ttl, roster.size());
+  // Roster slot of each live agent (parallel to `agents`).
+  std::vector<std::size_t> slot_of(agents.size());
+  std::iota(slot_of.begin(), slot_of.end(), 0);
+  int next_agent_id = static_cast<int>(roster.size());
+  const auto compact_agents = [&](const std::vector<char>& dead) {
+    std::size_t write = 0;
+    for (std::size_t idx = 0; idx < agents.size(); ++idx)
+      if (!dead[idx]) {
+        if (write != idx) {
+          agents[write] = std::move(agents[idx]);
+          slot_of[write] = slot_of[idx];
+        }
+        ++write;
+      }
+    agents.erase(agents.begin() + static_cast<std::ptrdiff_t>(write),
+                 agents.end());
+    slot_of.resize(write);
+  };
+
   // Knowledge is measured against the step-0 truth; with advance_world the
   // per-step truth is used instead (stale knowledge stops counting).
   const auto knowledge_fraction = [&](const MappingAgent& agent) {
@@ -133,10 +176,65 @@ MappingTaskResult run_mapping_task(World& world,
   setup_phase.stop();
   for (std::size_t t = 0; t <= config.max_steps; ++t) {
     AGENTNET_OBS_PHASE(kStep);
-    // Phase 1: every agent learns the out-edges of its node.
+    // The fault-masked view of this step's topology. Frozen mapping worlds
+    // never advance their own clock, so the weather keys on the task step.
+    const Graph& live =
+        injector ? injector->live_graph(world, t) : world.graph();
+
+    // Phase 0: watchdog recovery — roster slots silent for more than the
+    // TTL are declared dead; any agent still occupying one is scrapped
+    // (wedged or stranded) and a fresh replacement starts over on a
+    // random live node.
+    if (injector && watchdog.enabled()) {
+      constexpr std::size_t kNoAgent = static_cast<std::size_t>(-1);
+      std::vector<std::size_t> slot_agent(roster.size(), kNoAgent);
+      for (std::size_t i = 0; i < agents.size(); ++i)
+        slot_agent[slot_of[i]] = i;
+      std::vector<std::size_t> dead_slots;
+      std::vector<char> scrapped(agents.size(), 0);
+      bool any_scrapped = false;
+      for (std::size_t slot = 0; slot < roster.size(); ++slot) {
+        if (!watchdog.expired(slot, t)) continue;
+        dead_slots.push_back(slot);
+        const std::size_t idx = slot_agent[slot];
+        if (idx != kNoAgent) {
+          scrapped[idx] = 1;
+          any_scrapped = true;
+          ++result.agents_lost;
+          AGENTNET_COUNT(kAgentsLost);
+          AGENTNET_OBS_EVENT(kLost, t, agents[idx].id());
+        }
+      }
+      if (any_scrapped) compact_agents(scrapped);
+      if (!dead_slots.empty()) {
+        std::vector<NodeId> live_nodes;
+        for (NodeId v = 0; v < static_cast<NodeId>(n); ++v)
+          if (!injector->down(v)) live_nodes.push_back(v);
+        for (std::size_t slot : dead_slots) {
+          if (live_nodes.empty()) break;  // total blackout: retry later
+          const NodeId at = live_nodes[injector->pick(live_nodes.size())];
+          agents.emplace_back(
+              next_agent_id, at, n, roster[slot],
+              rng.fork(static_cast<std::uint64_t>(next_agent_id) + 1));
+          slot_of.push_back(slot);
+          watchdog.beat(slot, t);
+          ++result.agents_respawned;
+          AGENTNET_COUNT(kWatchdogRespawns);
+          AGENTNET_OBS_EVENT(kWatchdogRespawn, t, next_agent_id,
+                             static_cast<std::int64_t>(at));
+          ++next_agent_id;
+        }
+      }
+    }
+
+    // Phase 1: every agent learns the out-edges of its node. Agents on a
+    // crashed node are suspended: they sense nothing this step.
     {
       AGENTNET_OBS_PHASE(kSense);
-      for (auto& agent : agents) agent.sense(world.graph(), t);
+      for (auto& agent : agents) {
+        if (injector && injector->down(agent.location())) continue;
+        agent.sense(live, t);
+      }
     }
 
     // Phase 2: direct communication within co-located (or, with
@@ -148,23 +246,41 @@ MappingTaskResult run_mapping_task(World& world,
                        "comm_radius must be 0 or 1");
       const auto groups = config.comm_radius == 0
                               ? colocated_groups(agents)
-                              : in_range_groups(agents, world.graph());
+                              : in_range_groups(agents, live);
       for (const auto& group : groups) {
+        // Members stranded on crashed nodes cannot take part; a corrupted
+        // exchange (drawn once per meeting) discards the whole payload.
+        std::vector<std::size_t> talkers;
+        if (injector && plan.topology_faults()) {
+          for (std::size_t idx : group)
+            if (!injector->down(agents[idx].location()))
+              talkers.push_back(idx);
+        } else {
+          talkers.assign(group.begin(), group.end());
+        }
+        if (talkers.size() < 2) continue;
+        const NodeId venue = agents[talkers[0]].location();
+        if (injector && plan.exchange_failure_probability > 0.0 &&
+            injector->corrupt_exchange()) {
+          AGENTNET_COUNT(kExchangesCorrupted);
+          AGENTNET_OBS_EVENT(kExchangeCorrupted, t, -1,
+                             static_cast<std::int64_t>(venue),
+                             static_cast<std::int64_t>(talkers.size()));
+          continue;
+        }
         AGENTNET_COUNT(kAgentMeetings);
-        AGENTNET_OBS_EVENT(
-            kMeet, t, -1,
-            static_cast<std::int64_t>(agents[group[0]].location()),
-            static_cast<std::int64_t>(group.size()));
+        AGENTNET_OBS_EVENT(kMeet, t, -1, static_cast<std::int64_t>(venue),
+                           static_cast<std::int64_t>(talkers.size()));
         pooled_edges.clear();
         std::fill(pooled_visits.begin(), pooled_visits.end(), kNeverVisited);
-        for (std::size_t idx : group) {
+        for (std::size_t idx : talkers) {
           const MapKnowledge& k = agents[idx].knowledge();
           pooled_edges.merge(k.combined_edges());
           const auto visits = k.any_visits();
           for (std::size_t i = 0; i < n; ++i)
             pooled_visits[i] = std::max(pooled_visits[i], visits[i]);
         }
-        for (std::size_t idx : group) {
+        for (std::size_t idx : talkers) {
           agents[idx].learn_union(pooled_edges, pooled_visits);
           AGENTNET_COUNT(kKnowledgeMerges);
           AGENTNET_OBS_EVENT(
@@ -174,9 +290,17 @@ MappingTaskResult run_mapping_task(World& world,
       }
     }
 
+    // Resilience: hearsay expires after the configured TTL — a crashed
+    // region's links eventually stop being "known" second-hand and must be
+    // re-observed or re-learned.
+    if (plan.knowledge_ttl > 0)
+      for (auto& agent : agents)
+        agent.expire_second_hand(t, plan.knowledge_ttl);
+
     // Monitor upload: every agent standing on the monitoring entity's node
-    // hands over its full map.
-    if (config.monitor_node) {
+    // hands over its full map (nothing uploads while the monitor is down).
+    if (config.monitor_node &&
+        !(injector && injector->down(*config.monitor_node))) {
       for (const auto& agent : agents)
         if (agent.location() == *config.monitor_node)
           monitor_map.merge(agent.knowledge().combined_edges());
@@ -200,14 +324,19 @@ MappingTaskResult run_mapping_task(World& world,
         min_fraction = std::min(min_fraction, f);
         sum_fraction += f;
       }
+      // An extinct team (every agent lost, watchdog off) knows nothing
+      // and can never finish; record zeros rather than divide by zero.
       if (config.record_series) {
-        result.mean_knowledge.push_back(sum_fraction /
-                                        static_cast<double>(agents.size()));
-        result.min_knowledge.push_back(min_fraction);
+        result.mean_knowledge.push_back(
+            agents.empty()
+                ? 0.0
+                : sum_fraction / static_cast<double>(agents.size()));
+        result.min_knowledge.push_back(agents.empty() ? 0.0 : min_fraction);
       }
-      if (min_fraction >= 1.0) {
+      if (!agents.empty() && min_fraction >= 1.0) {
         result.finished = true;
         result.finishing_time = t;
+        result.final_population = agents.size();
         AGENTNET_OBS_EVENT(kFinish, t);
         return result;
       }
@@ -221,10 +350,17 @@ MappingTaskResult run_mapping_task(World& world,
     std::vector<NodeId> targets(agents.size());
     {
       AGENTNET_OBS_PHASE(kDecide);
+      // The permutation is persistent and reshuffled in place; it is only
+      // rebuilt when faults changed the population (rebuilding every step
+      // would perturb the fault-free shuffle sequence).
+      if (decide_order.size() != agents.size()) {
+        decide_order.resize(agents.size());
+        std::iota(decide_order.begin(), decide_order.end(), 0);
+      }
       rng.shuffle(std::span<std::size_t>(decide_order));
       for (std::size_t idx : decide_order) {
         MappingAgent& agent = agents[idx];
-        const NodeId target = agent.decide(world.graph(), board, t);
+        const NodeId target = agent.decide(live, board, t);
         targets[idx] = target;
         if (agent.stigmergic() && target != agent.location())
           board.stamp(agent.location(), target, t);
@@ -232,17 +368,32 @@ MappingTaskResult run_mapping_task(World& world,
     }
     {
       AGENTNET_OBS_PHASE(kMove);
+      std::vector<char> lost(agents.size(), 0);
+      bool any_lost = false;
       for (std::size_t idx = 0; idx < agents.size(); ++idx) {
         if (targets[idx] != agents[idx].location()) {
+          // Failure injection: a migrating agent can be lost on any hop —
+          // it never arrives, and its carried map is gone.
+          if (injector && plan.agent_loss_probability > 0.0 &&
+              injector->lose_in_transit()) {
+            lost[idx] = 1;
+            any_lost = true;
+            ++result.agents_lost;
+            AGENTNET_COUNT(kAgentsLost);
+            AGENTNET_OBS_EVENT(kLost, t, agents[idx].id());
+            continue;
+          }
           result.migration_bytes += agents[idx].state_size_bytes();
+          watchdog.beat(slot_of[idx], t);
           AGENTNET_COUNT(kAgentHops);
           AGENTNET_OBS_EVENT(
-              kMove, t, static_cast<std::int64_t>(idx),
+              kMove, t, static_cast<std::int64_t>(agents[idx].id()),
               static_cast<std::int64_t>(agents[idx].location()),
               static_cast<std::int64_t>(targets[idx]));
         }
         agents[idx].move_to(targets[idx]);
       }
+      if (any_lost) compact_agents(lost);
     }
 
     if (config.advance_world) world.advance();
@@ -250,6 +401,7 @@ MappingTaskResult run_mapping_task(World& world,
 
   AGENTNET_INFO() << "mapping task hit max_steps=" << config.max_steps
                   << " without finishing";
+  result.final_population = agents.size();
   return result;
 }
 

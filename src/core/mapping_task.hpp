@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "core/mapping_agent.hpp"
 #include "core/stigmergy.hpp"
+#include "fault/fault_plan.hpp"
 #include "sim/world.hpp"
 
 namespace agentnet {
@@ -57,6 +58,12 @@ struct MappingTaskConfig {
   /// topology — the "deliver the map to an operator" completion criterion,
   /// as opposed to the paper's "every agent knows everything".
   std::optional<NodeId> monitor_node;
+  /// The unified fault model: crash windows, blackouts, burst outages,
+  /// in-transit agent loss, exchange corruption and the resilience
+  /// policies (watchdog respawn, knowledge expiry). An inert plan keeps
+  /// the task on exactly its historical fault-free path — it draws nothing
+  /// extra from the run RNG. See fault/fault_plan.hpp, docs/ROBUSTNESS.md.
+  FaultPlan faults;
 };
 
 struct MappingTaskResult {
@@ -71,6 +78,11 @@ struct MappingTaskResult {
   /// Total migration traffic: Σ over actual moves of the moving agent's
   /// serialized size (the paper's overhead measure).
   std::size_t migration_bytes = 0;
+  /// Failure-injection bookkeeping (zero on fault-free runs).
+  std::size_t agents_lost = 0;
+  std::size_t agents_respawned = 0;
+  /// Population still alive when the task ended.
+  std::size_t final_population = 0;
   /// Monitor bookkeeping (meaningful only when a monitor node was set).
   bool monitor_finished = false;
   std::size_t monitor_finishing_time = 0;

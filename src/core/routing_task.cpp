@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "common/stats.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/watchdog.hpp"
 #include "obs/obs.hpp"
 
 namespace agentnet {
@@ -261,6 +263,16 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
   AGENTNET_REQUIRE(config.gateway_respawn_probability >= 0.0 &&
                        config.gateway_respawn_probability <= 1.0,
                    "respawn probability must be in [0,1]");
+  // Compatibility: the pre-FaultPlan knobs fold into the plan (and win
+  // when set). They feed the same forked stream in the same per-step draw
+  // order as the original implementation, so legacy configurations get
+  // bit-identical results through the unified path.
+  FaultPlan plan = config.faults;
+  if (config.agent_loss_probability > 0.0)
+    plan.agent_loss_probability = config.agent_loss_probability;
+  if (config.gateway_respawn_probability > 0.0)
+    plan.gateway_respawn_probability = config.gateway_respawn_probability;
+  plan.validate();
 
   RoutingTaskResult result;
   result.connectivity.reserve(config.steps);
@@ -270,7 +282,29 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
   if (config.traffic)
     traffic.emplace(n, is_gateway, *config.traffic, rng.fork(0x7AFF1C));
 
-  Rng fault_rng = rng.fork(0xFA11);
+  // The fault stream is forked here unconditionally (it predates the
+  // FaultPlan), which is what keeps fault-free configurations on their
+  // exact historical sequences.
+  FaultInjector injector(plan, rng.fork(0xFA11));
+  AgentWatchdog watchdog(plan.watchdog_ttl, roster.size());
+  // Roster slot of each live agent (parallel to `agents`); every recovery
+  // path fills a vacant slot, so occupancy stays a bijection.
+  std::vector<std::size_t> slot_of(agents.size());
+  std::iota(slot_of.begin(), slot_of.end(), 0);
+  const auto compact_agents = [&](const std::vector<char>& dead) {
+    std::size_t write = 0;
+    for (std::size_t idx = 0; idx < agents.size(); ++idx)
+      if (!dead[idx]) {
+        if (write != idx) {
+          agents[write] = std::move(agents[idx]);
+          slot_of[write] = slot_of[idx];
+        }
+        ++write;
+      }
+    agents.erase(agents.begin() + static_cast<std::ptrdiff_t>(write),
+                 agents.end());
+    slot_of.resize(write);
+  };
   std::vector<NodeId> gateway_nodes;
   for (NodeId v = 0; v < n; ++v)
     if (is_gateway[v]) gateway_nodes.push_back(v);
@@ -282,15 +316,76 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
   setup_phase.stop();
   for (std::size_t t = 0; t < config.steps; ++t) {
     AGENTNET_OBS_PHASE(kStep);
-    // Phase 0: recovery — gateways (the nodes wired to the outside world)
-    // launch replacement agents while the team is under strength.
-    if (config.gateway_respawn_probability > 0.0) {
+    // Refresh the topology-fault mask for this step. Without topology
+    // faults this returns immediately; with them it is cached, so the
+    // decide phase below reuses the same mask.
+    injector.live_graph(world, world.step());
+
+    // Phase 0a: watchdog recovery — roster slots silent for more than the
+    // TTL are declared dead; any agent still occupying one is scrapped
+    // (it is wedged or stranded) and a replacement launches at a live
+    // gateway. Skipped entirely when the watchdog is off.
+    if (watchdog.enabled()) {
+      constexpr std::size_t kNoAgent = static_cast<std::size_t>(-1);
+      std::vector<std::size_t> slot_agent(roster.size(), kNoAgent);
+      for (std::size_t i = 0; i < agents.size(); ++i)
+        slot_agent[slot_of[i]] = i;
+      std::vector<std::size_t> dead_slots;
+      std::vector<char> scrapped(agents.size(), 0);
+      bool any_scrapped = false;
+      for (std::size_t slot = 0; slot < roster.size(); ++slot) {
+        if (!watchdog.expired(slot, t)) continue;
+        dead_slots.push_back(slot);
+        const std::size_t idx = slot_agent[slot];
+        if (idx != kNoAgent) {
+          scrapped[idx] = 1;
+          any_scrapped = true;
+          ++result.agents_lost;
+          AGENTNET_COUNT(kAgentsLost);
+          AGENTNET_OBS_EVENT(kLost, t, agents[idx].id());
+        }
+      }
+      if (any_scrapped) compact_agents(scrapped);
+      if (!dead_slots.empty()) {
+        std::vector<NodeId> live_gateways;
+        for (NodeId gw : gateway_nodes)
+          if (!injector.down(gw)) live_gateways.push_back(gw);
+        for (std::size_t slot : dead_slots) {
+          if (live_gateways.empty()) break;  // every gateway down: retry
+          const NodeId at =
+              live_gateways[injector.pick(live_gateways.size())];
+          agents.emplace_back(
+              next_agent_id, at, roster[slot],
+              rng.fork(static_cast<std::uint64_t>(next_agent_id) + 1));
+          slot_of.push_back(slot);
+          watchdog.beat(slot, t);
+          AGENTNET_COUNT(kWatchdogRespawns);
+          AGENTNET_OBS_EVENT(kWatchdogRespawn, t, next_agent_id,
+                             static_cast<std::int64_t>(at));
+          ++next_agent_id;
+          ++result.agents_respawned;
+        }
+      }
+    }
+
+    // Phase 0b: recovery — gateways (the nodes wired to the outside world)
+    // launch replacement agents while the team is under strength. A
+    // crashed gateway launches nothing.
+    if (plan.gateway_respawn_probability > 0.0) {
       for (NodeId gw : gateway_nodes) {
         if (agents.size() >= target_population) break;
-        if (fault_rng.bernoulli(config.gateway_respawn_probability)) {
+        if (injector.down(gw)) continue;
+        if (injector.respawn_due()) {
+          std::vector<char> occupied(roster.size(), 0);
+          for (std::size_t s : slot_of) occupied[s] = 1;
+          std::size_t vacant = 0;
+          while (vacant < roster.size() && occupied[vacant]) ++vacant;
+          AGENTNET_ASSERT(vacant < roster.size());
           agents.emplace_back(
               next_agent_id, gw, config.agent,
               rng.fork(static_cast<std::uint64_t>(next_agent_id) + 1));
+          slot_of.push_back(vacant);
+          watchdog.beat(vacant, t);
           AGENTNET_COUNT(kAgentsRespawned);
           AGENTNET_OBS_EVENT(kRespawn, t, next_agent_id,
                              static_cast<std::int64_t>(gw));
@@ -312,12 +407,15 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
     std::vector<NodeId> targets(agents.size());
     {
       AGENTNET_OBS_PHASE(kDecide);
+      // The fault-masked view of this step's topology (cached above); a
+      // crashed node has no out-links, so agents on it hold position.
+      const Graph& live = injector.live_graph(world, world.step());
       decide_order.resize(agents.size());
       std::iota(decide_order.begin(), decide_order.end(), 0);
       rng.shuffle(std::span<std::size_t>(decide_order));
       for (std::size_t idx : decide_order) {
         RoutingAgent& agent = agents[idx];
-        const NodeId target = agent.decide(world.graph(), board, t);
+        const NodeId target = agent.decide(live, board, t);
         targets[idx] = target;
         if (agent.stigmergic() && target != agent.location())
           board.stamp(agent.location(), target, t);
@@ -335,6 +433,18 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
         for (std::size_t idx : group)
           if (agents[idx].config().communicate) talkers.push_back(idx);
         if (talkers.size() < 2) continue;
+        // A crashed host carries no meeting; a corrupted exchange is
+        // drawn per meeting — the payload is discarded, nobody learns.
+        const NodeId venue = agents[talkers[0]].location();
+        if (injector.down(venue)) continue;
+        if (plan.exchange_failure_probability > 0.0 &&
+            injector.corrupt_exchange()) {
+          AGENTNET_COUNT(kExchangesCorrupted);
+          AGENTNET_OBS_EVENT(kExchangeCorrupted, t, -1,
+                             static_cast<std::int64_t>(venue),
+                             static_cast<std::int64_t>(talkers.size()));
+          continue;
+        }
         AGENTNET_COUNT(kAgentMeetings);
         AGENTNET_OBS_EVENT(
             kMeet, t, -1,
@@ -375,8 +485,8 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
       AGENTNET_OBS_PHASE(kMove);
       for (std::size_t idx = 0; idx < agents.size(); ++idx) {
         if (targets[idx] != agents[idx].location()) {
-          if (config.agent_loss_probability > 0.0 &&
-              fault_rng.bernoulli(config.agent_loss_probability)) {
+          if (plan.agent_loss_probability > 0.0 &&
+              injector.lose_in_transit()) {
             lost[idx] = 1;
             any_lost = true;
             ++result.agents_lost;
@@ -385,6 +495,7 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
             continue;
           }
           result.migration_bytes += agents[idx].state_size_bytes();
+          watchdog.beat(slot_of[idx], t);
           AGENTNET_COUNT(kAgentHops);
           AGENTNET_OBS_EVENT(
               kMove, t, agents[idx].id(),
@@ -392,38 +503,45 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
               static_cast<std::int64_t>(targets[idx]));
         }
         agents[idx].move_to(targets[idx]);
-        if (agents[idx].install(tables, is_gateway, t)) {
+        // A crashed host accepts no route installs.
+        if (!injector.down(agents[idx].location()) &&
+            agents[idx].install(tables, is_gateway, t)) {
           AGENTNET_OBS_EVENT(
               kRouteUpdate, t, agents[idx].id(),
               static_cast<std::int64_t>(agents[idx].location()));
         }
       }
     }
-    if (any_lost) {
-      std::size_t write = 0;
-      for (std::size_t idx = 0; idx < agents.size(); ++idx)
-        if (!lost[idx]) {
-          if (write != idx) agents[write] = std::move(agents[idx]);
-          ++write;
-        }
-      agents.erase(agents.begin() + static_cast<std::ptrdiff_t>(write),
-                   agents.end());
-    }
+    if (any_lost) compact_agents(lost);
 
     // Environment advances; connectivity is measured on the new topology,
     // so freshly installed routes immediately face link churn.
     world.advance();
     {
       AGENTNET_OBS_PHASE(kMeasure);
+      const Graph& measured = injector.live_graph(world, world.step());
+      // Resilience: age out routing entries whose next hop is currently
+      // crashed — they cannot validate anyway, and clearing frees the
+      // table slot for fresh offers instead of waiting out the freshness
+      // window.
+      if (plan.age_crashed_routes && plan.topology_faults()) {
+        for (NodeId v = 0; v < n; ++v) {
+          const RouteEntry& entry = tables.entry(v);
+          if (entry.valid() && injector.down(entry.next_hop)) {
+            tables.clear(v);
+            AGENTNET_COUNT(kRoutesAged);
+          }
+        }
+      }
       result.connectivity.push_back(
-          measure_connectivity(world.graph(), tables, is_gateway).fraction());
+          measure_connectivity(measured, tables, is_gateway).fraction());
       if (config.record_oracle)
         result.oracle.push_back(
-            oracle_connectivity(world.graph(), is_gateway).fraction());
+            oracle_connectivity(measured, is_gateway).fraction());
       // Traffic flows over the converged window only, so delivery measures
       // the steady state rather than the cold start.
       if (traffic && t >= config.measure_from)
-        traffic->step(world.graph(), tables, t);
+        traffic->step(measured, tables, t);
     }
   }
   if (traffic) {

@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "core/routing_agent.hpp"
 #include "core/stigmergy.hpp"
+#include "fault/fault_plan.hpp"
 #include "routing/connectivity.hpp"
 #include "routing/routing_table.hpp"
 #include "sim/world.hpp"
@@ -120,14 +121,14 @@ struct RoutingTaskConfig {
   /// When set, packet traffic is injected over the converged window
   /// (steps ≥ measure_from) and its delivery statistics reported.
   std::optional<TrafficConfig> traffic;
-  /// Failure injection: probability that a migrating agent is lost in
-  /// transit (its link broke mid-transfer, its host died). Lost agents and
-  /// their carried state are gone.
+  /// The unified fault model: crash windows, blackouts, burst outages,
+  /// transit loss, exchange corruption and the resilience policies (see
+  /// fault/fault_plan.hpp and docs/ROBUSTNESS.md).
+  FaultPlan faults;
+  /// Compatibility: the pre-FaultPlan failure knobs. When > 0 they
+  /// override the corresponding plan fields and produce bit-identical
+  /// results to the original implementation. Prefer `faults`.
   double agent_loss_probability = 0.0;
-  /// Recovery: gateways are connected to the outside world and can launch
-  /// replacement agents. Each step, every gateway relaunches one fresh
-  /// agent with this probability while the population is below its initial
-  /// size.
   double gateway_respawn_probability = 0.0;
 };
 

@@ -13,9 +13,14 @@ namespace agentnet {
 MappingSummary run_mapping_experiment(const GeneratedNetwork& network,
                                       const MappingTaskConfig& task,
                                       int runs, std::uint64_t run_seed_base,
-                                      int threads, const ObsConfig& obs) {
+                                      int threads, const ObsConfig& obs,
+                                      const FaultConfig& faults) {
   AGENTNET_REQUIRE(runs >= 1, "need at least one run");
   AGENTNET_REQUIRE(threads >= 0, "threads must be >= 0");
+
+  // Environment-driven chaos: a non-inert plan overrides the task's own.
+  MappingTaskConfig effective = task;
+  if (!(faults == FaultPlan{})) effective.faults = faults;
 
   // One telemetry slot per run: each replication counts and traces into its
   // own shard, merged in run-index order below.
@@ -32,7 +37,8 @@ MappingSummary run_mapping_experiment(const GeneratedNetwork& network,
         obs::ObsRunScope scope(slots[r]);
         World world = World::frozen(network);
         results[r] = run_mapping_task(
-            world, task, Rng(run_seed_base + static_cast<std::uint64_t>(r)));
+            world, effective,
+            Rng(run_seed_base + static_cast<std::uint64_t>(r)));
       },
       static_cast<std::size_t>(threads));
 

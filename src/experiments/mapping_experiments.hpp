@@ -8,6 +8,7 @@
 
 #include "common/stats.hpp"
 #include "core/mapping_task.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/generators.hpp"
 #include "obs/obs.hpp"
 
@@ -32,12 +33,17 @@ struct MappingSummary {
 /// slot (counters, phase timings, optional trace buffer), merged in run
 /// order into `obs.sink` (or the caller's current slot); with a trace path
 /// set the per-run event streams are appended to it (docs/OBSERVABILITY.md).
+/// A non-inert `faults` plan overrides `task.faults` for every run — the
+/// AGENTNET_FAULT_* environment drives chaos sweeps over unmodified benches
+/// exactly like AGENTNET_TRACE drives tracing (docs/ROBUSTNESS.md).
 MappingSummary run_mapping_experiment(const GeneratedNetwork& network,
                                       const MappingTaskConfig& task,
                                       int runs, std::uint64_t run_seed_base,
                                       int threads = 0,
                                       const ObsConfig& obs =
-                                          ObsConfig::from_env());
+                                          ObsConfig::from_env(),
+                                      const FaultConfig& faults =
+                                          FaultConfig::from_env());
 
 /// Decimates a per-step series to at most `max_points` evenly spaced
 /// samples (always keeping the final step) for tabular figure output.

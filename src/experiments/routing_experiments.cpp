@@ -10,9 +10,14 @@ namespace agentnet {
 RoutingSummary run_routing_experiment(const RoutingScenario& scenario,
                                       const RoutingTaskConfig& task,
                                       int runs, std::uint64_t run_seed_base,
-                                      int threads, const ObsConfig& obs) {
+                                      int threads, const ObsConfig& obs,
+                                      const FaultConfig& faults) {
   AGENTNET_REQUIRE(runs >= 1, "need at least one run");
   AGENTNET_REQUIRE(threads >= 0, "threads must be >= 0");
+
+  // Environment-driven chaos: a non-inert plan overrides the task's own.
+  RoutingTaskConfig effective = task;
+  if (!(faults == FaultPlan{})) effective.faults = faults;
 
   // One telemetry slot per run: each replication counts and traces into its
   // own shard, merged in run-index order below.
@@ -29,7 +34,7 @@ RoutingSummary run_routing_experiment(const RoutingScenario& scenario,
       [&](std::size_t r) {
         obs::ObsRunScope scope(slots[r]);
         results[r] = run_routing_task(
-            scenario, task,
+            scenario, effective,
             Rng(run_seed_base + static_cast<std::uint64_t>(r)));
       },
       static_cast<std::size_t>(threads));

@@ -8,6 +8,7 @@
 
 #include "common/stats.hpp"
 #include "core/routing_task.hpp"
+#include "fault/fault_plan.hpp"
 #include "obs/obs.hpp"
 
 namespace agentnet {
@@ -33,11 +34,16 @@ struct RoutingSummary {
 /// slot (counters, phase timings, optional trace buffer), merged in run
 /// order into `obs.sink` (or the caller's current slot); with a trace path
 /// set the per-run event streams are appended to it (docs/OBSERVABILITY.md).
+/// A non-inert `faults` plan overrides `task.faults` for every run — the
+/// AGENTNET_FAULT_* environment drives chaos sweeps over unmodified benches
+/// exactly like AGENTNET_TRACE drives tracing (docs/ROBUSTNESS.md).
 RoutingSummary run_routing_experiment(const RoutingScenario& scenario,
                                       const RoutingTaskConfig& task,
                                       int runs, std::uint64_t run_seed_base,
                                       int threads = 0,
                                       const ObsConfig& obs =
-                                          ObsConfig::from_env());
+                                          ObsConfig::from_env(),
+                                      const FaultConfig& faults =
+                                          FaultConfig::from_env());
 
 }  // namespace agentnet

@@ -1,0 +1,111 @@
+#include "fault/fault_injector.hpp"
+
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "sim/world.hpp"
+
+namespace agentnet {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, Rng event_rng)
+    : plan_(std::move(plan)), rng_(event_rng) {
+  plan_.validate();
+  if (plan_.burst_drop_probability > 0.0)
+    burst_.emplace(plan_.burst_drop_probability, plan_.burst_persistence,
+                   plan_.weather_seed ^ 0xB125ULL);
+}
+
+bool FaultInjector::node_crashed(NodeId node, std::size_t step) const {
+  if (plan_.node_crash_probability <= 0.0) return false;
+  const std::uint64_t window = step / plan_.crash_persistence;
+  std::uint64_t h = plan_.weather_seed ^ 0xc4a5ed9e3779b97fULL;
+  h = mix64(h ^ node);
+  h = mix64(h ^ window);
+  const double u01 = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u01 < plan_.node_crash_probability;
+}
+
+const Graph& FaultInjector::live_graph(const Graph& graph,
+                                       const std::vector<Vec2>& positions,
+                                       std::size_t step) {
+  if (!plan_.topology_faults()) return graph;
+  if (have_mask_ && mask_step_ == step) return masked_;
+
+  const std::size_t n = graph.node_count();
+  std::vector<char> down(n, 0);
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v)
+    if (node_crashed(v, step)) down[v] = 1;
+
+  // Blackouts need geometry; a world without per-node positions (fixed
+  // abstract graphs) ignores them.
+  std::vector<char> zones_active(plan_.blackouts.size(), 0);
+  if (positions.size() == n) {
+    for (std::size_t z = 0; z < plan_.blackouts.size(); ++z) {
+      const Blackout& zone = plan_.blackouts[z];
+      if (!zone.active(step)) continue;
+      zones_active[z] = 1;
+      std::int64_t covered = 0;
+      for (NodeId v = 0; v < static_cast<NodeId>(n); ++v)
+        if (zone.covers(positions[v])) {
+          down[v] = 1;
+          ++covered;
+        }
+      if (z >= blackout_active_.size() || !blackout_active_[z]) {
+        AGENTNET_COUNT(kBlackoutStarts);
+        AGENTNET_OBS_EVENT(kBlackoutStart, step, -1,
+                           static_cast<std::int64_t>(z), covered);
+      }
+    }
+  }
+  for (std::size_t z = 0; z < blackout_active_.size(); ++z)
+    if (blackout_active_[z] && !zones_active[z])
+      AGENTNET_OBS_EVENT(kBlackoutEnd, step, -1,
+                         static_cast<std::int64_t>(z));
+
+  // Down/up transitions against the previous mask (all-up before the first
+  // call, so initially crashed nodes report a crash at the first step).
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+    const bool was_down = v < down_.size() && down_[v] != 0;
+    if (down[v] && !was_down) {
+      AGENTNET_COUNT(kNodeCrashes);
+      AGENTNET_OBS_EVENT(kNodeCrash, step, -1, static_cast<std::int64_t>(v));
+    } else if (!down[v] && was_down) {
+      AGENTNET_OBS_EVENT(kNodeRecover, step, -1,
+                         static_cast<std::int64_t>(v));
+    }
+  }
+
+  masked_ = Graph(n);
+  for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+    if (down[u]) continue;
+    for (NodeId v : graph.out_neighbors(u)) {
+      if (down[v]) continue;
+      if (burst_ && burst_->down(u, v, step)) continue;
+      masked_.add_edge(u, v);
+    }
+  }
+  AGENTNET_COUNT_N(kFaultLinkDrops,
+                   graph.edge_count() - masked_.edge_count());
+
+  down_ = std::move(down);
+  blackout_active_ = std::move(zones_active);
+  have_mask_ = true;
+  mask_step_ = step;
+  return masked_;
+}
+
+const Graph& FaultInjector::live_graph(const World& world, std::size_t step) {
+  return live_graph(world.graph(), world.positions(), step);
+}
+
+}  // namespace agentnet

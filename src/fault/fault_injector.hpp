@@ -1,0 +1,98 @@
+// The runtime side of a FaultPlan: one injector per task run.
+//
+// Two kinds of faults, two disciplines:
+//
+//  * Topology faults (node crashes, blackouts, burst link outages) are
+//    pure hashes of (entity, step window, weather_seed) — no state, no
+//    draws. live_graph() materialises the faulted view of the world's
+//    graph for the current step and caches it; when the plan has no
+//    topology faults it returns the caller's graph by reference, so the
+//    fault-free path is allocation-free and bit-identical to a build
+//    without this subsystem.
+//
+//  * Event faults (in-transit loss, gateway respawn, exchange corruption,
+//    watchdog placement) are sequential draws from one forked stream. The
+//    task loop draws them in a fixed per-step order and only when the
+//    corresponding probability is enabled, which keeps legacy
+//    configurations (routing's old loss/respawn knobs) on the exact same
+//    random sequence they had before FaultPlan existed.
+//
+// Transition events (kNodeCrash / kNodeRecover / kBlackoutStart /
+// kBlackoutEnd) and counters are emitted from live_graph() when a window
+// boundary flips state, charging whatever RunObs slot is installed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/fault_plan.hpp"
+#include "geom/vec2.hpp"
+#include "net/graph.hpp"
+#include "net/link_noise.hpp"
+
+namespace agentnet {
+
+class World;
+
+class FaultInjector {
+ public:
+  /// `event_rng` is the task's fault stream (by convention
+  /// rng.fork(0xFA11)); it is consumed only by the event draws below.
+  FaultInjector(FaultPlan plan, Rng event_rng);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // --- Sequential event draws (call only when the probability is > 0,
+  // --- so disabled faults consume nothing from the stream) -------------
+  bool lose_in_transit() {
+    return rng_.bernoulli(plan_.agent_loss_probability);
+  }
+  bool respawn_due() {
+    return rng_.bernoulli(plan_.gateway_respawn_probability);
+  }
+  bool corrupt_exchange() {
+    return rng_.bernoulli(plan_.exchange_failure_probability);
+  }
+  /// Uniform index draw from the event stream (watchdog placement).
+  std::size_t pick(std::size_t n) { return rng_.index(n); }
+
+  // --- Stateless weather -----------------------------------------------
+  /// True when `node` is crashed during `step` (hash-gated window, whole
+  /// multiples of crash_persistence — the LinkFlapper discipline).
+  bool node_crashed(NodeId node, std::size_t step) const;
+
+  /// The fault-masked view of `graph` at `step`: edges at crashed or
+  /// blacked-out nodes and burst-dropped links are removed. Returns
+  /// `graph` itself when the plan has no topology faults. `positions` must
+  /// have one entry per node for blackouts to apply (worlds without
+  /// geometry ignore them). The result is cached per step; callers must
+  /// pass the graph that is current at `step`.
+  const Graph& live_graph(const Graph& graph,
+                          const std::vector<Vec2>& positions,
+                          std::size_t step);
+
+  /// Convenience overload reading graph and positions from a World; `step`
+  /// is still explicit because frozen mapping worlds never advance their
+  /// own clock.
+  const Graph& live_graph(const World& world, std::size_t step);
+
+  /// True when `node` was down in the most recent live_graph() mask.
+  /// Always false before the first call or without topology faults.
+  bool down(NodeId node) const {
+    return node < down_.size() && down_[node] != 0;
+  }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  std::optional<LinkFlapper> burst_;
+  Graph masked_;
+  std::vector<char> down_;
+  std::vector<char> blackout_active_;
+  bool have_mask_ = false;
+  std::size_t mask_step_ = 0;
+};
+
+}  // namespace agentnet

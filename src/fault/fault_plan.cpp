@@ -1,0 +1,131 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace agentnet {
+
+void FaultPlan::validate() const {
+  AGENTNET_REQUIRE(agent_loss_probability >= 0.0 &&
+                       agent_loss_probability <= 1.0,
+                   "agent loss probability must be in [0,1]");
+  AGENTNET_REQUIRE(gateway_respawn_probability >= 0.0 &&
+                       gateway_respawn_probability <= 1.0,
+                   "respawn probability must be in [0,1]");
+  AGENTNET_REQUIRE(exchange_failure_probability >= 0.0 &&
+                       exchange_failure_probability <= 1.0,
+                   "exchange failure probability must be in [0,1]");
+  // Window-hashed faults mirror LinkFlapper's [0,1) domain: probability 1
+  // would crash everything forever, which is not a simulation.
+  AGENTNET_REQUIRE(node_crash_probability >= 0.0 &&
+                       node_crash_probability < 1.0,
+                   "node crash probability must be in [0,1)");
+  AGENTNET_REQUIRE(burst_drop_probability >= 0.0 &&
+                       burst_drop_probability < 1.0,
+                   "burst drop probability must be in [0,1)");
+  AGENTNET_REQUIRE(crash_persistence >= 1,
+                   "crash persistence must be >= 1");
+  AGENTNET_REQUIRE(burst_persistence >= 1,
+                   "burst persistence must be >= 1");
+  for (const Blackout& zone : blackouts)
+    AGENTNET_REQUIRE(zone.radius >= 0.0,
+                     "blackout radius must be non-negative");
+}
+
+FaultPlan FaultPlan::scaled(double intensity) const {
+  AGENTNET_REQUIRE(intensity >= 0.0, "fault intensity must be >= 0");
+  if (intensity == 0.0) return FaultPlan{};
+  FaultPlan out = *this;
+  const auto closed = [&](double p) {
+    return std::min(1.0, p * intensity);
+  };
+  const auto open = [&](double p) {
+    return std::min(0.99, p * intensity);
+  };
+  out.agent_loss_probability = closed(agent_loss_probability);
+  out.gateway_respawn_probability = closed(gateway_respawn_probability);
+  out.exchange_failure_probability = closed(exchange_failure_probability);
+  out.node_crash_probability = open(node_crash_probability);
+  out.burst_drop_probability = open(burst_drop_probability);
+  return out;
+}
+
+std::vector<Blackout> parse_blackouts(const std::string& spec) {
+  std::vector<Blackout> zones;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(';', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (item.empty()) continue;
+    double fields[5];
+    std::size_t pos = 0;
+    for (int f = 0; f < 5; ++f) {
+      if (f > 0) {
+        AGENTNET_REQUIRE(pos < item.size() && item[pos] == ':',
+                         "blackout spec needs x:y:radius:start:duration: " +
+                             item);
+        ++pos;
+      }
+      std::size_t used = 0;
+      try {
+        fields[f] = std::stod(item.substr(pos), &used);
+      } catch (const std::exception&) {
+        throw ConfigError("bad number in blackout spec: " + item);
+      }
+      AGENTNET_REQUIRE(used > 0, "bad number in blackout spec: " + item);
+      pos += used;
+    }
+    AGENTNET_REQUIRE(pos == item.size(),
+                     "trailing characters in blackout spec: " + item);
+    AGENTNET_REQUIRE(fields[3] >= 0.0 && fields[4] >= 0.0,
+                     "blackout start/duration must be non-negative: " + item);
+    Blackout zone;
+    zone.center = {fields[0], fields[1]};
+    zone.radius = fields[2];
+    zone.start = static_cast<std::size_t>(fields[3]);
+    zone.duration = static_cast<std::size_t>(fields[4]);
+    zones.push_back(zone);
+  }
+  return zones;
+}
+
+FaultPlan FaultPlan::from_env() {
+  FaultPlan plan;
+  plan.agent_loss_probability =
+      env_double("AGENTNET_FAULT_AGENT_LOSS", plan.agent_loss_probability);
+  plan.gateway_respawn_probability =
+      env_double("AGENTNET_FAULT_RESPAWN", plan.gateway_respawn_probability);
+  plan.node_crash_probability =
+      env_double("AGENTNET_FAULT_NODE_CRASH", plan.node_crash_probability);
+  plan.crash_persistence = static_cast<std::size_t>(
+      env_int("AGENTNET_FAULT_CRASH_PERSISTENCE",
+              static_cast<std::int64_t>(plan.crash_persistence)));
+  plan.burst_drop_probability =
+      env_double("AGENTNET_FAULT_BURST_DROP", plan.burst_drop_probability);
+  plan.burst_persistence = static_cast<std::size_t>(
+      env_int("AGENTNET_FAULT_BURST_PERSISTENCE",
+              static_cast<std::int64_t>(plan.burst_persistence)));
+  plan.exchange_failure_probability = env_double(
+      "AGENTNET_FAULT_EXCHANGE", plan.exchange_failure_probability);
+  if (const auto spec = env_string("AGENTNET_FAULT_BLACKOUTS"))
+    plan.blackouts = parse_blackouts(*spec);
+  plan.weather_seed = static_cast<std::uint64_t>(env_int(
+      "AGENTNET_FAULT_SEED", static_cast<std::int64_t>(plan.weather_seed)));
+  plan.watchdog_ttl = static_cast<std::size_t>(
+      env_int("AGENTNET_FAULT_WATCHDOG_TTL",
+              static_cast<std::int64_t>(plan.watchdog_ttl)));
+  plan.knowledge_ttl = static_cast<std::size_t>(
+      env_int("AGENTNET_FAULT_KNOWLEDGE_TTL",
+              static_cast<std::int64_t>(plan.knowledge_ttl)));
+  plan.age_crashed_routes =
+      env_bool("AGENTNET_FAULT_ROUTE_AGING", plan.age_crashed_routes);
+  plan.validate();
+  return plan;
+}
+
+}  // namespace agentnet

@@ -1,0 +1,43 @@
+// The generalized agent watchdog (resilience half of the fault subsystem).
+//
+// Tasks track one heartbeat per roster slot — a successful migration beats
+// the slot — and a slot silent for more than `ttl` steps is declared dead:
+// whatever agent still nominally occupies it is scrapped and a fresh
+// replacement launched. This generalizes routing's gateway-respawn recovery
+// (which only refills a counted deficit) to mapping teams and to agents
+// that are alive but wedged (e.g. stranded on a node a blackout cut off).
+//
+// The watchdog itself holds no RNG: placement draws come from the
+// injector's event stream, so the whole recovery path stays on the one
+// deterministic sequence.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace agentnet {
+
+class AgentWatchdog {
+ public:
+  /// `ttl` 0 disables; `slots` is the roster size. All slots start with a
+  /// heartbeat at step 0 (spawning counts as a sign of life).
+  AgentWatchdog(std::size_t ttl, std::size_t slots)
+      : ttl_(ttl), last_beat_(slots, 0) {}
+
+  bool enabled() const { return ttl_ > 0; }
+  std::size_t slots() const { return last_beat_.size(); }
+
+  /// Records a sign of life for `slot` at step `now`.
+  void beat(std::size_t slot, std::size_t now) { last_beat_[slot] = now; }
+
+  /// True when `slot` has been silent for more than ttl steps.
+  bool expired(std::size_t slot, std::size_t now) const {
+    return ttl_ > 0 && now > last_beat_[slot] + ttl_;
+  }
+
+ private:
+  std::size_t ttl_;
+  std::vector<std::size_t> last_beat_;
+};
+
+}  // namespace agentnet

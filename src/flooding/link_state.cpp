@@ -7,6 +7,20 @@
 
 namespace agentnet {
 
+namespace {
+
+// Same finalizer as net/link_noise.cpp: stateless, order-independent.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
 LinkStateFlooding::LinkStateFlooding(std::size_t node_count,
                                      LinkStateConfig config)
     : config_(config),
@@ -15,6 +29,20 @@ LinkStateFlooding::LinkStateFlooding(std::size_t node_count,
       last_origination_(node_count, 0) {
   AGENTNET_REQUIRE(config.refresh_period >= 1,
                    "refresh period must be >= 1");
+  AGENTNET_REQUIRE(config.lsa_loss_probability >= 0.0 &&
+                       config.lsa_loss_probability <= 1.0,
+                   "lsa loss probability must be in [0,1]");
+}
+
+bool LinkStateFlooding::lsa_dropped(NodeId from, NodeId to,
+                                    const Lsa& lsa) const {
+  if (config_.lsa_loss_probability <= 0.0) return false;
+  std::uint64_t h = config_.loss_seed ^ 0x15adead1e77e55ULL;
+  h = mix64(h ^ (static_cast<std::uint64_t>(from) << 32 | to));
+  h = mix64(h ^ lsa.origin);
+  h = mix64(h ^ lsa.sequence);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < config_.lsa_loss_probability;
 }
 
 void LinkStateFlooding::step(const Graph& graph, std::size_t now) {
@@ -67,10 +95,16 @@ void LinkStateFlooding::step(const Graph& graph, std::size_t now) {
     const auto neighbors = graph.out_neighbors(v);
     for (const Lsa& lsa : fresh_news[v]) {
       for (NodeId w : neighbors) {
-        in_flight_.push_back({w, lsa});
         ++messages_;
         AGENTNET_COUNT(kLsaMessages);
         bytes_ += lsa_bytes(lsa);
+        // The sender paid for the transmission either way; a dropped copy
+        // simply never enters the receiver's inbox.
+        if (lsa_dropped(v, w, lsa)) {
+          AGENTNET_COUNT(kLsaDropped);
+          continue;
+        }
+        in_flight_.push_back({w, lsa});
       }
     }
   }

@@ -29,6 +29,13 @@ struct LinkStateConfig {
   std::size_t lsa_header_bytes = 24;
   /// Bytes per advertised neighbour entry.
   std::size_t lsa_entry_bytes = 8;
+  /// Failure injection: each transmitted LSA copy is dropped with this
+  /// probability before it reaches the receiver. Decided by a pure hash of
+  /// (loss_seed, sender, receiver, origin, sequence) — the same counted-RNG
+  /// discipline as LinkFlapper — so runs stay deterministic and
+  /// thread-count-invariant. 0 disables the draw entirely.
+  double lsa_loss_probability = 0.0;
+  std::uint64_t loss_seed = 0xF100DULL;
 };
 
 class LinkStateFlooding {
@@ -62,6 +69,9 @@ class LinkStateFlooding {
     return config_.lsa_header_bytes +
            config_.lsa_entry_bytes * lsa.neighbors.size();
   }
+
+  /// Pure-hash transmission-loss draw (stateless; see LinkStateConfig).
+  bool lsa_dropped(NodeId from, NodeId to, const Lsa& lsa) const;
 
   LinkStateConfig config_;
   /// databases_[v][origin] = freshest LSA v has heard from origin.

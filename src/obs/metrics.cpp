@@ -24,12 +24,26 @@ const char* counter_name(Counter counter) {
       return "agents_lost";
     case Counter::kAgentsRespawned:
       return "agents_respawned";
+    case Counter::kNodeCrashes:
+      return "node_crashes";
+    case Counter::kBlackoutStarts:
+      return "blackout_starts";
+    case Counter::kExchangesCorrupted:
+      return "exchanges_corrupted";
+    case Counter::kFaultLinkDrops:
+      return "fault_link_drops";
+    case Counter::kRoutesAged:
+      return "routes_aged";
+    case Counter::kWatchdogRespawns:
+      return "watchdog_respawns";
     case Counter::kAntsLaunched:
       return "ants_launched";
     case Counter::kAntHops:
       return "ant_hops";
     case Counter::kLsaMessages:
       return "lsa_messages";
+    case Counter::kLsaDropped:
+      return "lsa_dropped";
     case Counter::kDvRelaxations:
       return "dv_relaxations";
     case Counter::kCount:

@@ -28,9 +28,16 @@ enum class Counter : std::size_t {
   kLinkFlaps,            ///< Links removed by link weather (LinkFlapper).
   kAgentsLost,           ///< Agents lost in transit (failure injection).
   kAgentsRespawned,      ///< Replacement agents launched by gateways.
+  kNodeCrashes,          ///< Nodes newly down (crash window or blackout).
+  kBlackoutStarts,       ///< Regional blackouts becoming active.
+  kExchangesCorrupted,   ///< Meeting exchanges lost to corruption.
+  kFaultLinkDrops,       ///< Edges masked out by the fault injector.
+  kRoutesAged,           ///< Route entries cleared (crashed next hop).
+  kWatchdogRespawns,     ///< Replacements launched by the agent watchdog.
   kAntsLaunched,         ///< Forward ants launched (ACO baseline).
   kAntHops,              ///< Ant hops, forward + backward (ACO baseline).
   kLsaMessages,          ///< LSA transmissions (flooding baseline).
+  kLsaDropped,           ///< LSAs lost in transit (failure injection).
   kDvRelaxations,        ///< Accepted Bellman-Ford relaxations (DV agents).
   kCount
 };

@@ -30,6 +30,12 @@ constexpr KindFields kKindFields[static_cast<std::size_t>(
     /* lost      */ {"agent", nullptr, nullptr},
     /* respawn   */ {"agent", "node", nullptr},
     /* death     */ {nullptr, "node", nullptr},
+    /* crash     */ {nullptr, "node", nullptr},
+    /* recover   */ {nullptr, "node", nullptr},
+    /* bo_start  */ {nullptr, "blackout", "nodes"},
+    /* bo_end    */ {nullptr, "blackout", nullptr},
+    /* corrupt   */ {nullptr, "node", "size"},
+    /* watchdog  */ {"agent", "node", nullptr},
     /* finish    */ {nullptr, nullptr, nullptr},
     /* run_group */ {nullptr, "runs", nullptr},
 };
@@ -67,6 +73,18 @@ const char* trace_event_name(TraceEventKind kind) {
       return "respawn";
     case TraceEventKind::kBatteryDeath:
       return "death";
+    case TraceEventKind::kNodeCrash:
+      return "node_crash";
+    case TraceEventKind::kNodeRecover:
+      return "node_recover";
+    case TraceEventKind::kBlackoutStart:
+      return "blackout_start";
+    case TraceEventKind::kBlackoutEnd:
+      return "blackout_end";
+    case TraceEventKind::kExchangeCorrupted:
+      return "exchange_corrupted";
+    case TraceEventKind::kWatchdogRespawn:
+      return "watchdog_respawn";
     case TraceEventKind::kFinish:
       return "finish";
     case TraceEventKind::kRunGroup:

@@ -33,6 +33,12 @@ enum class TraceEventKind : std::uint8_t {
   kLost,          ///< Agent lost in transit (failure injection).
   kRespawn,       ///< Gateway launched a replacement agent.
   kBatteryDeath,  ///< A node's battery drained to zero.
+  kNodeCrash,     ///< A node went down (crash window or blackout).
+  kNodeRecover,   ///< A down node came back up.
+  kBlackoutStart,  ///< A regional blackout became active.
+  kBlackoutEnd,    ///< A regional blackout ended.
+  kExchangeCorrupted,  ///< A meeting's knowledge exchange was corrupted.
+  kWatchdogRespawn,    ///< The watchdog replaced a silent roster slot.
   kFinish,        ///< Mapping task finished (all maps perfect).
   kRunGroup,      ///< File marker: one experiment's group of runs follows.
   kCount

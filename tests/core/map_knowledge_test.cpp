@@ -128,5 +128,53 @@ TEST(MapKnowledgeTest, RejectsZeroNodes) {
   EXPECT_THROW(MapKnowledge(0), ConfigError);
 }
 
+// Stale-knowledge expiry (resilience policy): hearsay survives the epoch
+// rotation that closes its epoch and drops at the next one, so its
+// effective age is in [ttl, 2*ttl). First-hand observations never expire.
+TEST(MapKnowledgeExpiryTest, HearsayExpiresAfterTwoRotations) {
+  MapKnowledge k(5);
+  MapKnowledge peer(5);
+  const std::vector<NodeId> peer_out{4};
+  peer.observe_node(3, peer_out, 2);
+  k.expire_second_hand(0, 10);  // first call activates the epoch clock
+  k.learn_from(peer);           // hearsay learned inside epoch [0, 10)
+  const std::vector<NodeId> own_out{1};
+  k.observe_node(0, own_out, 1);  // first-hand
+  EXPECT_EQ(k.known_edge_count(), 2u);
+  k.expire_second_hand(9, 10);  // same epoch: nothing happens
+  EXPECT_EQ(k.known_edge_count(), 2u);
+  k.expire_second_hand(10, 10);  // rotation 1: hearsay still fresh enough
+  EXPECT_EQ(k.known_edge_count(), 2u);
+  k.expire_second_hand(20, 10);  // rotation 2: hearsay aged out
+  EXPECT_EQ(k.known_edge_count(), 1u);
+  EXPECT_EQ(k.first_hand_edge_count(), 1u)
+      << "first-hand knowledge never expires";
+}
+
+TEST(MapKnowledgeExpiryTest, RefreshedHearsayStaysAlive) {
+  MapKnowledge k(5);
+  MapKnowledge peer(5);
+  const std::vector<NodeId> peer_out{4};
+  peer.observe_node(3, peer_out, 2);
+  k.expire_second_hand(0, 10);
+  k.learn_from(peer);
+  k.expire_second_hand(10, 10);  // rotation 1
+  k.learn_from(peer);            // re-heard in the new epoch
+  k.expire_second_hand(20, 10);  // rotation 2: refreshed copy survives
+  EXPECT_EQ(k.known_edge_count(), 1u);
+  k.expire_second_hand(40, 10);  // no refresh since: gone
+  EXPECT_EQ(k.known_edge_count(), 0u);
+}
+
+TEST(MapKnowledgeExpiryTest, ZeroTtlDisablesExpiry) {
+  MapKnowledge k(5);
+  MapKnowledge peer(5);
+  const std::vector<NodeId> peer_out{4};
+  peer.observe_node(3, peer_out, 2);
+  k.learn_from(peer);
+  k.expire_second_hand(1000, 0);
+  EXPECT_EQ(k.known_edge_count(), 1u) << "ttl 0 must be a no-op";
+}
+
 }  // namespace
 }  // namespace agentnet

@@ -331,6 +331,52 @@ TEST(MappingAgentConfigTest, RejectsBadRandomness) {
                ConfigError);
 }
 
+// Config-bounds validation: garbage configurations must fail loudly, not
+// silently misbehave (mirrors the routing task's discipline).
+TEST(MappingTaskTest, RejectsNonPositivePopulation) {
+  const auto net = small_network();
+  World world = World::frozen(net);
+  auto cfg = config(MappingPolicy::kConscientious, StigmergyMode::kOff, 0);
+  EXPECT_THROW(run_mapping_task(world, cfg, Rng(1)), ConfigError);
+  cfg.population = -3;
+  EXPECT_THROW(run_mapping_task(world, cfg, Rng(1)), ConfigError);
+}
+
+TEST(MappingTaskTest, RejectsOutOfRangeRandomness) {
+  const auto net = small_network();
+  World world = World::frozen(net);
+  auto cfg = config(MappingPolicy::kConscientious, StigmergyMode::kOff, 3);
+  cfg.agent.randomness = 1.5;
+  EXPECT_THROW(run_mapping_task(world, cfg, Rng(1)), ConfigError);
+  cfg.agent.randomness = -0.1;
+  EXPECT_THROW(run_mapping_task(world, cfg, Rng(1)), ConfigError);
+}
+
+TEST(MappingTaskTest, RejectsBadTeamMemberRandomness) {
+  const auto net = small_network();
+  World world = World::frozen(net);
+  auto cfg = config(MappingPolicy::kConscientious, StigmergyMode::kOff, 3);
+  cfg.team = {{MappingPolicy::kRandom, StigmergyMode::kOff, 0.5},
+              {MappingPolicy::kRandom, StigmergyMode::kOff, 2.0}};
+  EXPECT_THROW(run_mapping_task(world, cfg, Rng(1)), ConfigError);
+}
+
+TEST(MappingTaskTest, RejectsZeroStigmergyCapacity) {
+  const auto net = small_network();
+  World world = World::frozen(net);
+  auto cfg = config(MappingPolicy::kConscientious, StigmergyMode::kOff, 3);
+  cfg.stigmergy_capacity = 0;
+  EXPECT_THROW(run_mapping_task(world, cfg, Rng(1)), ConfigError);
+}
+
+TEST(MappingTaskTest, RejectsInvalidFaultPlan) {
+  const auto net = small_network();
+  World world = World::frozen(net);
+  auto cfg = config(MappingPolicy::kConscientious, StigmergyMode::kOff, 3);
+  cfg.faults.agent_loss_probability = 1.5;
+  EXPECT_THROW(run_mapping_task(world, cfg, Rng(1)), ConfigError);
+}
+
 // Population sweep property: finishing time is non-increasing (in
 // aggregate) as the team grows.
 class PopulationSweepTest : public ::testing::TestWithParam<int> {};

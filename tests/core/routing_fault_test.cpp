@@ -1,0 +1,173 @@
+// Direct tests for failure injection in the routing task: the legacy
+// loss/respawn knobs, their bit-exact compatibility with the unified
+// FaultPlan, the fault counters, and determinism across thread counts.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/routing_task.hpp"
+#include "experiments/routing_experiments.hpp"
+#include "obs/obs.hpp"
+
+namespace agentnet {
+namespace {
+
+RoutingScenario tiny_scenario() {
+  RoutingScenarioParams params;
+  params.node_count = 50;
+  params.gateway_count = 4;
+  params.bounds = {{0.0, 0.0}, {350.0, 350.0}};
+  params.trace_steps = 60;
+  return RoutingScenario(params, 17);
+}
+
+RoutingTaskConfig lossy_task() {
+  RoutingTaskConfig task;
+  task.population = 15;
+  task.steps = 60;
+  task.measure_from = 30;
+  task.agent_loss_probability = 0.05;
+  task.gateway_respawn_probability = 0.3;
+  return task;
+}
+
+TEST(RoutingFaultTest, LossAndRespawnCountersIncrement) {
+  const auto scenario = tiny_scenario();
+  obs::RunObs slot;
+  RoutingTaskResult result;
+  {
+    obs::ObsRunScope scope(slot);
+    result = run_routing_task(scenario, lossy_task(), Rng(3));
+  }
+  EXPECT_GT(result.agents_lost, 0u);
+  EXPECT_GT(result.agents_respawned, 0u);
+  EXPECT_EQ(slot.counters.value(obs::Counter::kAgentsLost),
+            result.agents_lost);
+  EXPECT_EQ(slot.counters.value(obs::Counter::kAgentsRespawned),
+            result.agents_respawned);
+  EXPECT_GE(result.final_population, 1u);
+}
+
+TEST(RoutingFaultTest, LossWithoutRespawnShrinksThePopulation) {
+  const auto scenario = tiny_scenario();
+  RoutingTaskConfig task = lossy_task();
+  task.gateway_respawn_probability = 0.0;
+  const auto result = run_routing_task(scenario, task, Rng(3));
+  EXPECT_GT(result.agents_lost, 0u);
+  EXPECT_EQ(result.agents_respawned, 0u);
+  EXPECT_EQ(result.final_population,
+            static_cast<std::size_t>(task.population) - result.agents_lost);
+}
+
+TEST(RoutingFaultTest, RespawnedAgentsUseTheHomogeneousTemplate) {
+  // A respawned agent inherits the roster template of the slot it refills.
+  // With a homogeneous non-communicating population and respawns on, the
+  // run must behave exactly like a homogeneous team — in particular no
+  // stigmergy stamps can ever appear.
+  const auto scenario = tiny_scenario();
+  RoutingTaskConfig task = lossy_task();
+  task.agent.stigmergy = StigmergyMode::kOff;
+  obs::RunObs slot;
+  {
+    obs::ObsRunScope scope(slot);
+    const auto result = run_routing_task(scenario, task, Rng(5));
+    EXPECT_GT(result.agents_respawned, 0u);
+  }
+  EXPECT_EQ(slot.counters.value(obs::Counter::kStigmergyStamps), 0u);
+}
+
+TEST(RoutingFaultTest, LegacyKnobsAndFaultPlanAreBitIdentical) {
+  // The compatibility contract: pre-FaultPlan configurations must produce
+  // the exact results they always did, and the same settings expressed
+  // through the plan must match them bit for bit.
+  const auto scenario = tiny_scenario();
+  const RoutingTaskConfig legacy = lossy_task();
+  RoutingTaskConfig plan_based;
+  plan_based.population = legacy.population;
+  plan_based.steps = legacy.steps;
+  plan_based.measure_from = legacy.measure_from;
+  plan_based.faults.agent_loss_probability = legacy.agent_loss_probability;
+  plan_based.faults.gateway_respawn_probability =
+      legacy.gateway_respawn_probability;
+  const auto a = run_routing_task(scenario, legacy, Rng(9));
+  const auto b = run_routing_task(scenario, plan_based, Rng(9));
+  ASSERT_EQ(a.connectivity.size(), b.connectivity.size());
+  for (std::size_t t = 0; t < a.connectivity.size(); ++t)
+    ASSERT_EQ(a.connectivity[t], b.connectivity[t]) << "step " << t;
+  EXPECT_EQ(a.mean_connectivity, b.mean_connectivity);
+  EXPECT_EQ(a.agents_lost, b.agents_lost);
+  EXPECT_EQ(a.agents_respawned, b.agents_respawned);
+  EXPECT_EQ(a.migration_bytes, b.migration_bytes);
+}
+
+TEST(RoutingFaultTest, LegacyKnobsOverrideThePlan) {
+  // When both are set, the legacy fields win (they are the older API and
+  // callers setting them expect their historical meaning).
+  const auto scenario = tiny_scenario();
+  RoutingTaskConfig both = lossy_task();
+  both.faults.agent_loss_probability = 0.9;  // overridden by 0.05
+  const auto a = run_routing_task(scenario, lossy_task(), Rng(9));
+  const auto b = run_routing_task(scenario, both, Rng(9));
+  EXPECT_EQ(a.agents_lost, b.agents_lost);
+  EXPECT_EQ(a.mean_connectivity, b.mean_connectivity);
+}
+
+TEST(RoutingFaultTest, LossyRunsBitIdenticalAcrossThreadCounts) {
+  const auto scenario = tiny_scenario();
+  const auto serial = run_routing_experiment(scenario, lossy_task(), 5, 70, 1);
+  for (int threads : {2, 7}) {
+    SCOPED_TRACE(threads);
+    const auto parallel =
+        run_routing_experiment(scenario, lossy_task(), 5, 70, threads);
+    ASSERT_EQ(parallel.mean_connectivity.count(),
+              serial.mean_connectivity.count());
+    EXPECT_EQ(parallel.mean_connectivity.mean(),
+              serial.mean_connectivity.mean());
+    EXPECT_EQ(parallel.mean_connectivity.variance(),
+              serial.mean_connectivity.variance());
+  }
+}
+
+TEST(RoutingFaultTest, RouteAgingClearsCrashedNextHops) {
+  const auto scenario = tiny_scenario();
+  RoutingTaskConfig task;
+  task.population = 15;
+  task.steps = 60;
+  task.measure_from = 30;
+  task.faults.node_crash_probability = 0.08;
+  task.faults.crash_persistence = 6;
+  obs::RunObs with_aging_slot;
+  {
+    obs::ObsRunScope scope(with_aging_slot);
+    run_routing_task(scenario, task, Rng(13));
+  }
+  EXPECT_GT(with_aging_slot.counters.value(obs::Counter::kRoutesAged), 0u);
+  EXPECT_GT(with_aging_slot.counters.value(obs::Counter::kNodeCrashes), 0u);
+
+  task.faults.age_crashed_routes = false;
+  obs::RunObs without_slot;
+  {
+    obs::ObsRunScope scope(without_slot);
+    run_routing_task(scenario, task, Rng(13));
+  }
+  EXPECT_EQ(without_slot.counters.value(obs::Counter::kRoutesAged), 0u);
+}
+
+TEST(RoutingFaultTest, ExchangeCorruptionCountsMeetings) {
+  const auto scenario = tiny_scenario();
+  RoutingTaskConfig task;
+  task.population = 25;
+  task.steps = 60;
+  task.measure_from = 30;
+  task.agent.communicate = true;
+  task.faults.exchange_failure_probability = 0.5;
+  obs::RunObs slot;
+  {
+    obs::ObsRunScope scope(slot);
+    run_routing_task(scenario, task, Rng(21));
+  }
+  EXPECT_GT(slot.counters.value(obs::Counter::kExchangesCorrupted), 0u);
+  EXPECT_GT(slot.counters.value(obs::Counter::kAgentMeetings), 0u);
+}
+
+}  // namespace
+}  // namespace agentnet

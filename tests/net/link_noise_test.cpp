@@ -96,6 +96,49 @@ TEST(LinkFlapperTest, DirectionalIndependence) {
   EXPECT_GT(asymmetric, 100);
 }
 
+TEST(LinkFlapperTest, ApplyMatchesPerEdgeDownExactly) {
+  // apply() is defined as the edge-wise filter of down(): the two views of
+  // the weather must agree on every edge of a real generated graph, so a
+  // task that masks with down() and a world that masks with apply() see
+  // the same topology.
+  TargetEdgeParams params;
+  params.geometry.node_count = 60;
+  params.target_edges = 420;
+  params.tolerance = 0.05;
+  const auto net = generate_target_edge_network(params, 31);
+  const LinkFlapper flapper(0.25, 5, 13);
+  for (std::size_t step : {0u, 4u, 5u, 23u}) {
+    Graph applied = net.graph;
+    flapper.apply(applied, step);
+    for (NodeId u = 0; u < net.graph.node_count(); ++u)
+      for (NodeId v : net.graph.out_neighbors(u))
+        ASSERT_EQ(applied.has_edge(u, v), !flapper.down(u, v, step))
+            << u << "->" << v << " at step " << step;
+  }
+}
+
+TEST(LinkFlapperTest, OutageWindowsAreWholeMultiplesOfPersistence) {
+  // Track one link over many steps: every maximal outage (and uptime) run
+  // must start and end on a window boundary, i.e. its length is a whole
+  // multiple of the persistence.
+  const LinkFlapper flapper(0.4, 7, 3);
+  for (NodeId u = 0; u < 12; ++u)
+    for (NodeId v = 0; v < 12; ++v) {
+      if (u == v) continue;
+      bool state = flapper.down(u, v, 0);
+      std::size_t run_start = 0;
+      for (std::size_t step = 1; step < 140; ++step) {
+        const bool now = flapper.down(u, v, step);
+        if (now != state) {
+          ASSERT_EQ((step - run_start) % 7, 0u)
+              << "state flip mid-window on " << u << "->" << v;
+          state = now;
+          run_start = step;
+        }
+      }
+    }
+}
+
 TEST(FlappingWorldTest, GraphShrinksAndRecovers) {
   TargetEdgeParams params;
   params.geometry.node_count = 60;

@@ -14,8 +14,11 @@
 # instead builds the parallel determinism + telemetry suites under
 # ThreadSanitizer (-DAGENTNET_SANITIZE=thread, separate build-tsan/ tree),
 # runs them, then drives one traced mapping run and one traced routing run
-# (AGENTNET_TRACE, 7 threads) and validates the JSONL event streams with
-# tools/trace_check — a fast data-race + schema check, not a bench sweep.
+# (AGENTNET_TRACE, 7 threads) plus one chaos-harness run of each under the
+# AGENTNET_FAULT_* environment (docs/ROBUSTNESS.md), and validates the
+# JSONL event streams with tools/trace_check — including --require proofs
+# that the chaos runs actually crashed nodes and lost agents. A fast
+# data-race + schema check, not a bench sweep.
 set -eu
 
 if [ "${1:-}" = "--smoke" ]; then
@@ -37,7 +40,21 @@ if [ "${1:-}" = "--smoke" ]; then
     build-tsan/examples/agentnet_cli scenario=routing nodes=50 gateways=4 \
     population=10 runs=2
   build-tsan/tools/trace_check "$tmp/map.jsonl" "$tmp/route.jsonl"
-  echo "TSan + trace smoke passed" >&2
+  echo "##### chaos runs (TSan + AGENTNET_FAULT_* + trace_check --require)"
+  AGENTNET_THREADS=7 AGENTNET_TRACE="$tmp/map_chaos.jsonl" \
+    AGENTNET_FAULT_AGENT_LOSS=0.02 AGENTNET_FAULT_NODE_CRASH=0.02 \
+    AGENTNET_FAULT_BURST_DROP=0.05 AGENTNET_FAULT_EXCHANGE=0.1 \
+    AGENTNET_FAULT_WATCHDOG_TTL=60 AGENTNET_FAULT_KNOWLEDGE_TTL=120 \
+    build-tsan/examples/agentnet_cli scenario=mapping nodes=60 edges=300 \
+    population=4 runs=3 max_steps=3000
+  AGENTNET_THREADS=7 AGENTNET_TRACE="$tmp/route_chaos.jsonl" \
+    AGENTNET_FAULT_AGENT_LOSS=0.03 AGENTNET_FAULT_RESPAWN=0.3 \
+    AGENTNET_FAULT_NODE_CRASH=0.03 \
+    build-tsan/examples/agentnet_cli scenario=routing nodes=50 gateways=4 \
+    population=10 runs=2
+  build-tsan/tools/trace_check --require=node_crash --require=node_recover \
+    --require=lost "$tmp/map_chaos.jsonl" "$tmp/route_chaos.jsonl"
+  echo "TSan + trace + chaos smoke passed" >&2
   exit 0
 fi
 
