@@ -1,8 +1,18 @@
 // Micro-benchmarks (google-benchmark) for the substrate hot paths: topology
 // rebuild, graph queries, knowledge merges, agent stepping and connectivity
 // measurement. These guard the costs that the figure benches amortise.
+//
+// This TU also replaces global operator new/delete with counting versions,
+// so the zero-allocation claims (warm World::advance(), warm build_into())
+// are measured as counters instead of argued in comments.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <new>
+
+#include "common/flat_map.hpp"
 #include "core/mapping_task.hpp"
 #include "core/routing_task.hpp"
 #include "experiments/mapping_experiments.hpp"
@@ -11,6 +21,48 @@
 #include "net/generators.hpp"
 #include "net/metrics.hpp"
 #include "routing/connectivity.hpp"
+
+namespace {
+
+std::atomic<std::size_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace agentnet {
 namespace {
@@ -29,6 +81,26 @@ void BM_TopologyBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_TopologyBuild);
 
+void BM_TopologyBuildInto(benchmark::State& state) {
+  // Warm rebuild into recycled storage — the per-step path World uses.
+  // allocs_per_rebuild should read 0.
+  const auto& net = net300();
+  TopologyBuilder builder(net.bounds, 1000.0, LinkPolicy::kDirected);
+  Graph reused;
+  builder.build_into(reused, net.positions, net.base_ranges);
+  std::size_t allocs = 0;
+  for (auto _ : state) {
+    const std::size_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    builder.build_into(reused, net.positions, net.base_ranges);
+    allocs += g_allocations.load(std::memory_order_relaxed) - before;
+    benchmark::DoNotOptimize(reused.edge_count());
+  }
+  state.counters["allocs_per_rebuild"] = benchmark::Counter(
+      static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_TopologyBuildInto);
+
 void BM_GraphHasEdge(benchmark::State& state) {
   const Graph& g = net300().graph;
   NodeId u = 0, v = 1;
@@ -45,6 +117,72 @@ void BM_BfsDistances(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(bfs_distances(g, 0));
 }
 BENCHMARK(BM_BfsDistances);
+
+void BM_CsrBfsDistances(benchmark::State& state) {
+  // Same BFS over the frozen CSR snapshot, distance array reused.
+  const CsrView csr(net300().graph);
+  std::vector<int> dist;
+  for (auto _ : state) {
+    bfs_distances(csr, 0, dist);
+    benchmark::DoNotOptimize(dist.data());
+  }
+}
+BENCHMARK(BM_CsrBfsDistances);
+
+void BM_GraphIterateEdges(benchmark::State& state) {
+  const Graph& g = net300().graph;
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    for (NodeId u = 0; u < g.node_count(); ++u)
+      for (NodeId v : g.out_neighbors(u)) sum += v;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_GraphIterateEdges);
+
+void BM_CsrIterateEdges(benchmark::State& state) {
+  // The whole edge set is two contiguous arrays; compare against
+  // BM_GraphIterateEdges for the vector-of-vectors cost.
+  const CsrView csr(net300().graph);
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    for (NodeId u = 0; u < csr.node_count(); ++u)
+      for (NodeId v : csr.out_neighbors(u)) sum += v;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_CsrIterateEdges);
+
+template <class MapType>
+void table_churn(benchmark::State& state) {
+  // The agent-table access mix: point lookups, insert-or-bump, full scans
+  // (the trim/evaporation pattern) over a small per-agent table.
+  for (auto _ : state) {
+    MapType table;
+    for (std::uint32_t round = 0; round < 16; ++round) {
+      for (std::uint32_t k = 0; k < 24; ++k)
+        table[(k * 37 + round) % 64] += 1.0;
+      double sum = 0.0;
+      for (const auto& [key, value] : table) sum += value;
+      benchmark::DoNotOptimize(sum);
+      for (std::uint32_t k = 0; k < 24; k += 3) {
+        auto it = table.find((k * 37 + round) % 64);
+        if (it != table.end()) table.erase(it);
+      }
+    }
+    benchmark::DoNotOptimize(table.size());
+  }
+}
+
+void BM_StdMapChurn(benchmark::State& state) {
+  table_churn<std::map<NodeId, double>>(state);
+}
+BENCHMARK(BM_StdMapChurn);
+
+void BM_FlatMapChurn(benchmark::State& state) {
+  table_churn<FlatMap<NodeId, double>>(state);
+}
+BENCHMARK(BM_FlatMapChurn);
 
 void BM_KnowledgeMerge(benchmark::State& state) {
   MapKnowledge a(300), b(300);
@@ -120,12 +258,22 @@ void BM_RoutingStep(benchmark::State& state) {
 BENCHMARK(BM_RoutingStep)->Arg(25)->Arg(100);
 
 void BM_WorldAdvance(benchmark::State& state) {
+  // allocs_per_advance is the zero-allocation steady-state gauge: after the
+  // warm-up advances below, a full mobility + battery + rebuild + CSR step
+  // should not touch the heap.
   const RoutingScenario scenario{RoutingScenarioParams{}, 2010};
   World world = scenario.make_world();
+  for (int i = 0; i < 64; ++i) world.advance();  // warm every buffer
+  std::size_t allocs = 0;
   for (auto _ : state) {
+    const std::size_t before =
+        g_allocations.load(std::memory_order_relaxed);
     world.advance();
+    allocs += g_allocations.load(std::memory_order_relaxed) - before;
     benchmark::DoNotOptimize(world.graph().edge_count());
   }
+  state.counters["allocs_per_advance"] = benchmark::Counter(
+      static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_WorldAdvance);
 

@@ -16,9 +16,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "net/graph.hpp"
 #include "routing/routing_table.hpp"
@@ -86,8 +86,10 @@ class AntRoutingSystem {
 
   AntRoutingConfig config_;
   std::vector<bool> is_gateway_;
-  /// pheromone_[u] maps neighbour id → τ(u → neighbour).
-  std::vector<std::map<NodeId, double>> pheromone_;
+  /// pheromone_[u] maps neighbour id → τ(u → neighbour). Flat sorted rows:
+  /// same ascending-id iteration (and thus bit-identical evaporation and
+  /// argmax order) as the std::map they replaced.
+  std::vector<FlatMap<NodeId, double>> pheromone_;
   std::vector<Ant> ants_;
   Rng rng_;
   std::size_t ant_hops_ = 0;

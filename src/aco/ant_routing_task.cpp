@@ -43,12 +43,20 @@ AntRoutingResult run_ant_routing_task(const RoutingScenario& scenario,
     }
     world.advance();
     AGENTNET_OBS_PHASE(kMeasure);
-    const Graph& measured =
-        injector ? injector->live_graph(world, world.step()) : world.graph();
     const RoutingTables tables = ants.snapshot_tables(t);
-    result.connectivity.push_back(
-        measure_connectivity(measured, tables, scenario.is_gateway())
-            .fraction());
+    if (injector && plan.topology_faults()) {
+      const Graph& measured = injector->live_graph(world, world.step());
+      result.connectivity.push_back(
+          measure_connectivity(measured, tables, scenario.is_gateway())
+              .fraction());
+    } else {
+      // Fault-free topology: measure over the frozen CSR snapshot
+      // (bit-identical to walking world.graph()).
+      if (injector) injector->live_graph(world, world.step());
+      result.connectivity.push_back(
+          measure_connectivity(world.csr(), tables, scenario.is_gateway())
+              .fraction());
+    }
   }
   AGENTNET_OBS_PHASE(kSummarize);
   RunningStats window;

@@ -184,10 +184,16 @@ DvRoutingTaskResult run_dv_routing_task(const RoutingScenario& scenario,
     }
     world.advance();
     AGENTNET_OBS_PHASE(kMeasure);
-    const Graph& measured =
-        injector ? injector->live_graph(world, world.step()) : world.graph();
-    result.connectivity.push_back(
-        measure_connectivity(measured, tables, is_gateway).fraction());
+    if (injector && plan.topology_faults()) {
+      const Graph& measured = injector->live_graph(world, world.step());
+      result.connectivity.push_back(
+          measure_connectivity(measured, tables, is_gateway).fraction());
+    } else {
+      // Fault-free topology: walk the frozen CSR snapshot (bit-identical
+      // to walking world.graph()).
+      result.connectivity.push_back(
+          measure_connectivity(world.csr(), tables, is_gateway).fraction());
+    }
   }
   result.final_population = agents.size();
   AGENTNET_OBS_PHASE(kSummarize);

@@ -13,9 +13,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "core/routing_task.hpp"
 #include "core/selection.hpp"
@@ -45,7 +45,9 @@ class DvAgent {
   DvAgent(int id, NodeId start, DvAgentConfig config, Rng rng);
 
   NodeId location() const { return location_; }
-  const std::map<NodeId, DvEntry>& table() const { return table_; }
+  /// Flat sorted table; iterates in ascending node order like the std::map
+  /// it replaced, so trims and installs stay bit-identical.
+  const FlatMap<NodeId, DvEntry>& table() const { return table_; }
   const DvAgentConfig& config() const { return config_; }
 
   /// Arrival processing: age out stale entries, set the gateway anchor,
@@ -78,7 +80,7 @@ class DvAgent {
   int id_;
   NodeId location_;
   DvAgentConfig config_;
-  std::map<NodeId, DvEntry> table_;
+  FlatMap<NodeId, DvEntry> table_;
   Rng rng_;
 };
 

@@ -96,14 +96,27 @@ bool MapKnowledge::knows_edge(NodeId u, NodeId v) const {
   return combined_.test(bit_index(u, v));
 }
 
-std::size_t MapKnowledge::known_edge_count_in(const Graph& truth) const {
-  AGENTNET_REQUIRE(truth.node_count() == node_count_,
+namespace {
+
+template <class AnyGraph>
+std::size_t known_in(const MapKnowledge& k, const AnyGraph& truth) {
+  AGENTNET_REQUIRE(truth.node_count() == k.node_count(),
                    "truth graph node-count mismatch");
   std::size_t n = 0;
-  for (NodeId u = 0; u < node_count_; ++u)
+  for (NodeId u = 0; u < k.node_count(); ++u)
     for (NodeId v : truth.out_neighbors(u))
-      if (knows_edge(u, v)) ++n;
+      if (k.knows_edge(u, v)) ++n;
   return n;
+}
+
+}  // namespace
+
+std::size_t MapKnowledge::known_edge_count_in(const Graph& truth) const {
+  return known_in(*this, truth);
+}
+
+std::size_t MapKnowledge::known_edge_count_in(const CsrView& truth) const {
+  return known_in(*this, truth);
 }
 
 std::int64_t MapKnowledge::last_visit_first_hand(NodeId node) const {

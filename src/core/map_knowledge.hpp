@@ -64,6 +64,8 @@ class MapKnowledge {
   /// |known ∩ truth| — for dynamic topologies where stale knowledge may
   /// reference edges that no longer exist.
   std::size_t known_edge_count_in(const Graph& truth) const;
+  /// CSR variant — identical count over the frozen snapshot.
+  std::size_t known_edge_count_in(const CsrView& truth) const;
 
   std::int64_t last_visit_first_hand(NodeId node) const;
   /// Includes visit times learned from peers (what super-conscientious

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "common/dense_bitset.hpp"
+#include "geom/spatial_grid.hpp"
 #include "common/log.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/watchdog.hpp"
@@ -56,15 +58,53 @@ class AgentUnion {
   std::vector<std::size_t> parent_;
 };
 
+/// Reused per-step storage for in_range_groups' geometric prefilter.
+struct MeetingScratch {
+  std::optional<SpatialGrid> grid;
+  std::vector<Vec2> positions;       ///< Agent positions, index = agent idx.
+  std::vector<std::size_t> nearby;   ///< Grid query output, ascending.
+};
+
 std::vector<std::vector<std::size_t>> in_range_groups(
-    const std::vector<MappingAgent>& agents, const Graph& graph) {
+    const std::vector<MappingAgent>& agents, const Graph& graph,
+    const World& world, MeetingScratch& scratch) {
+  // CAUTION: the output group order depends on the exact unite(i, j) call
+  // sequence (it decides which index ends up as each set's root), and the
+  // exchange phase draws fault RNG per group in that order — so any
+  // candidate filter must preserve the naive (i ascending, j > i ascending)
+  // pair order exactly. The grid query returns ascending indices, and on
+  // geometric worlds every relation-satisfying pair is within
+  // max_base_range (effective ranges never exceed it, and fault masks only
+  // remove edges), so the prefilter drops only pairs the naive loop would
+  // have skipped anyway.
   AgentUnion uf(agents.size());
-  for (std::size_t i = 0; i < agents.size(); ++i) {
-    for (std::size_t j = i + 1; j < agents.size(); ++j) {
+  if (world.geometric() && !agents.empty()) {
+    const double radius = world.radio().max_base_range();
+    if (!scratch.grid) scratch.grid.emplace(world.bounds(), radius);
+    scratch.positions.resize(agents.size());
+    for (std::size_t i = 0; i < agents.size(); ++i)
+      scratch.positions[i] = world.positions()[agents[i].location()];
+    scratch.grid->rebuild(scratch.positions);
+    for (std::size_t i = 0; i < agents.size(); ++i) {
       const NodeId a = agents[i].location();
-      const NodeId b = agents[j].location();
-      if (a == b || graph.has_edge(a, b) || graph.has_edge(b, a))
-        uf.unite(i, j);
+      scratch.grid->query(scratch.positions[i], radius, scratch.nearby);
+      for (std::size_t j : scratch.nearby) {
+        if (j <= i) continue;
+        const NodeId b = agents[j].location();
+        if (a == b || graph.has_edge(a, b) || graph.has_edge(b, a))
+          uf.unite(i, j);
+      }
+    }
+  } else {
+    // fixed() worlds pin an abstract graph over synthetic geometry; no
+    // distance bound relates edges to positions, so check every pair.
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+      for (std::size_t j = i + 1; j < agents.size(); ++j) {
+        const NodeId a = agents[i].location();
+        const NodeId b = agents[j].location();
+        if (a == b || graph.has_edge(a, b) || graph.has_edge(b, a))
+          uf.unite(i, j);
+      }
     }
   }
   std::vector<std::vector<std::size_t>> by_root(agents.size());
@@ -129,6 +169,7 @@ MappingTaskResult run_mapping_task(World& world,
                      "monitor node out of range");
   std::vector<std::size_t> decide_order(agents.size());
   std::iota(decide_order.begin(), decide_order.end(), 0);
+  MeetingScratch meeting_scratch;
 
   // The fault injector exists only when the plan does something: an inert
   // plan must not even fork the fault stream, because the fork advances
@@ -166,7 +207,8 @@ MappingTaskResult run_mapping_task(World& world,
     // is eventually observable, so plain completeness applies.
     if (!config.advance_world || config.truth_edges_override)
       return agent.knowledge().completeness(result.truth_edges);
-    const Graph& truth = world.graph();
+    // The CSR snapshot of world.graph() — same edges, flat iteration.
+    const CsrView& truth = world.csr();
     if (truth.edge_count() == 0) return 1.0;
     return static_cast<double>(
                agent.knowledge().known_edge_count_in(truth)) /
@@ -244,9 +286,10 @@ MappingTaskResult run_mapping_task(World& world,
       AGENTNET_OBS_PHASE(kExchange);
       AGENTNET_REQUIRE(config.comm_radius <= 1,
                        "comm_radius must be 0 or 1");
-      const auto groups = config.comm_radius == 0
-                              ? colocated_groups(agents)
-                              : in_range_groups(agents, live);
+      const auto groups =
+          config.comm_radius == 0
+              ? colocated_groups(agents)
+              : in_range_groups(agents, live, world, meeting_scratch);
       for (const auto& group : groups) {
         // Members stranded on crashed nodes cannot take part; a corrupted
         // exchange (drawn once per meeting) discards the whole payload.

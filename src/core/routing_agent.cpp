@@ -27,7 +27,7 @@ void RoutingAgent::remember_visit(NodeId node, std::size_t now) {
 
 void RoutingAgent::trim_history() {
   while (history_.size() > config_.history_size) {
-    // Evict the oldest entry; ties broken by lowest node id, which map
+    // Evict the oldest entry; ties broken by lowest node id, which sorted
     // iteration order makes deterministic.
     auto oldest = history_.begin();
     for (auto it = std::next(history_.begin()); it != history_.end(); ++it)
@@ -80,7 +80,7 @@ bool RoutingAgent::hint_better(const RouteHint& a, const RouteHint& b) {
 }
 
 void RoutingAgent::adopt(const RouteHint& best,
-                         const std::map<NodeId, std::size_t>& peer_history) {
+                         const FlatMap<NodeId, std::size_t>& peer_history) {
   if (hint_better(best, hint_)) hint_ = best;
   for (const auto& [node, step] : peer_history) {
     auto it = history_.find(node);

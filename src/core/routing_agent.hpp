@@ -11,9 +11,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "core/selection.hpp"
 #include "core/stigmergy.hpp"
@@ -63,7 +63,9 @@ class RoutingAgent {
     return config_.stigmergy != StigmergyMode::kOff;
   }
   /// Bounded visit history (node → last visit step), oldest evicted first.
-  const std::map<NodeId, std::size_t>& history() const { return history_; }
+  /// Flat sorted table; iterates in ascending node order like the std::map
+  /// it replaced (the bit-identical invariant, docs/ARCHITECTURE.md).
+  const FlatMap<NodeId, std::size_t>& history() const { return history_; }
 
   /// Records arrival at the current location: history update plus hint
   /// refresh when standing on a gateway.
@@ -77,7 +79,7 @@ class RoutingAgent {
   /// hint, and absorb `peer_history` (keeping the freshest entries, bounded
   /// by history_size).
   void adopt(const RouteHint& best,
-             const std::map<NodeId, std::size_t>& peer_history);
+             const FlatMap<NodeId, std::size_t>& peer_history);
 
   /// Moves to `target` (a current neighbour or the same node), extending
   /// the carried hint by one hop or expiring it past the memory bound.
@@ -106,7 +108,7 @@ class RoutingAgent {
   int id_;
   NodeId location_;
   RoutingAgentConfig config_;
-  std::map<NodeId, std::size_t> history_;
+  FlatMap<NodeId, std::size_t> history_;
   RouteHint hint_;
   Rng rng_;
 };

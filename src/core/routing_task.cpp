@@ -277,6 +277,8 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
   RoutingTaskResult result;
   result.connectivity.reserve(config.steps);
   std::vector<std::size_t> decide_order;
+  // Meeting-exchange scratch, reused across meetings and steps.
+  FlatMap<NodeId, std::size_t> pooled;
 
   std::optional<TrafficSimulator> traffic;
   if (config.traffic)
@@ -455,7 +457,7 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
           if (RoutingAgent::hint_better(agents[idx].hint(), best))
             best = agents[idx].hint();
         // Pool histories (max last-visit per node) before anyone mutates.
-        std::map<NodeId, std::size_t> pooled;
+        pooled.clear();
         for (std::size_t idx : talkers) {
           for (const auto& [node, step] : agents[idx].history()) {
             auto it = pooled.find(node);
@@ -533,8 +535,14 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
           }
         }
       }
+      // Without topology faults `measured` IS world.graph(), so the frozen
+      // CSR snapshot measures the same topology — bit-identically, since
+      // neighbour order matches — over two flat arrays.
       result.connectivity.push_back(
-          measure_connectivity(measured, tables, is_gateway).fraction());
+          plan.topology_faults()
+              ? measure_connectivity(measured, tables, is_gateway).fraction()
+              : measure_connectivity(world.csr(), tables, is_gateway)
+                    .fraction());
       if (config.record_oracle)
         result.oracle.push_back(
             oracle_connectivity(measured, is_gateway).fraction());

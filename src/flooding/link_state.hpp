@@ -14,9 +14,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "net/graph.hpp"
 
 namespace agentnet {
@@ -74,8 +74,10 @@ class LinkStateFlooding {
   bool lsa_dropped(NodeId from, NodeId to, const Lsa& lsa) const;
 
   LinkStateConfig config_;
-  /// databases_[v][origin] = freshest LSA v has heard from origin.
-  std::vector<std::map<NodeId, Lsa>> databases_;
+  /// databases_[v][origin] = freshest LSA v has heard from origin. Flat
+  /// sorted tables; same ascending-origin iteration as the std::map they
+  /// replaced, so completeness sums stay bit-identical.
+  std::vector<FlatMap<NodeId, Lsa>> databases_;
   std::vector<std::uint64_t> own_sequence_;
   std::vector<std::size_t> last_origination_;
   /// Transmissions in flight: (destination, LSA), delivered next step.

@@ -26,55 +26,38 @@ void SpatialGrid::cell_coords(Vec2 p, int& cx, int& cy) const {
                 static_cast<int>((q.y - bounds_.lo.y) / cell_size_));
 }
 
-std::size_t SpatialGrid::cell_index(int cx, int cy) const {
-  return static_cast<std::size_t>(cy) * cols_ + cx;
-}
-
 void SpatialGrid::rebuild(const std::vector<Vec2>& positions) {
-  positions_ = positions;
+  positions_.assign(positions.begin(), positions.end());
   const std::size_t cells = static_cast<std::size_t>(cols_) * rows_;
-  std::vector<std::uint32_t> counts(cells, 0);
-  std::vector<std::uint32_t> home(positions_.size());
+  // Counting pass into cell_start_ (shifted by one so the prefix sum lands
+  // in place), then a cursor pass scatters each index into its home cell.
+  cell_start_.assign(cells + 1, 0);
+  home_.resize(positions_.size());
   for (std::size_t i = 0; i < positions_.size(); ++i) {
     int cx, cy;
     cell_coords(positions_[i], cx, cy);
-    home[i] = static_cast<std::uint32_t>(cell_index(cx, cy));
-    ++counts[home[i]];
+    home_[i] = static_cast<std::uint32_t>(cell_index(cx, cy));
+    ++cell_start_[home_[i] + 1];
   }
-  cell_start_.assign(cells + 1, 0);
   for (std::size_t c = 0; c < cells; ++c)
-    cell_start_[c + 1] = cell_start_[c] + counts[c];
-  cell_items_.assign(positions_.size(), 0);
-  std::vector<std::uint32_t> cursor(cell_start_.begin(),
-                                    cell_start_.end() - 1);
+    cell_start_[c + 1] += cell_start_[c];
+  cell_items_.resize(positions_.size());
+  cursor_.assign(cell_start_.begin(), cell_start_.end() - 1);
   for (std::size_t i = 0; i < positions_.size(); ++i)
-    cell_items_[cursor[home[i]]++] = static_cast<std::uint32_t>(i);
-}
-
-void SpatialGrid::for_each_within(
-    Vec2 point, double radius,
-    const std::function<void(std::size_t)>& fn) const {
-  if (positions_.empty() || radius < 0.0) return;
-  int cx0, cy0, cx1, cy1;
-  cell_coords({point.x - radius, point.y - radius}, cx0, cy0);
-  cell_coords({point.x + radius, point.y + radius}, cx1, cy1);
-  const double r2 = radius * radius;
-  for (int cy = cy0; cy <= cy1; ++cy) {
-    for (int cx = cx0; cx <= cx1; ++cx) {
-      const std::size_t c = cell_index(cx, cy);
-      for (std::uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
-        const std::size_t j = cell_items_[k];
-        if (distance2(point, positions_[j]) <= r2) fn(j);
-      }
-    }
-  }
+    cell_items_[cursor_[home_[i]]++] = static_cast<std::uint32_t>(i);
 }
 
 std::vector<std::size_t> SpatialGrid::query(Vec2 point, double radius) const {
   std::vector<std::size_t> out;
+  query(point, radius, out);
+  return out;
+}
+
+void SpatialGrid::query(Vec2 point, double radius,
+                        std::vector<std::size_t>& out) const {
+  out.clear();
   for_each_within(point, radius, [&](std::size_t j) { out.push_back(j); });
   std::sort(out.begin(), out.end());
-  return out;
 }
 
 }  // namespace agentnet

@@ -1,11 +1,10 @@
 // Uniform spatial hash grid over the arena; turns the O(n^2) "who is within
 // radio range" scan into a neighbourhood query of nearby cells. Rebuilt each
-// step by the topology builder (node counts are small, rebuild is cheap and
-// keeps the structure trivially correct under mobility).
+// step by the topology builder; rebuild() reuses all internal buffers, so a
+// warm grid allocates nothing.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "geom/vec2.hpp"
@@ -19,6 +18,7 @@ class SpatialGrid {
   SpatialGrid(Aabb bounds, double cell_size);
 
   /// Replaces the contents with `positions`; index i keeps identity i.
+  /// Reuses internal storage — allocation-free once capacity is warm.
   void rebuild(const std::vector<Vec2>& positions);
 
   std::size_t size() const { return positions_.size(); }
@@ -26,15 +26,38 @@ class SpatialGrid {
   double cell_size() const { return cell_size_; }
 
   /// Calls `fn(j)` for every point j (including i itself if present) with
-  /// distance(point, positions[j]) <= radius.
-  void for_each_within(Vec2 point, double radius,
-                       const std::function<void(std::size_t)>& fn) const;
+  /// distance(point, positions[j]) <= radius. The callback is a template
+  /// parameter so the per-candidate call inlines (no std::function
+  /// indirection on the topology-rebuild hot path).
+  template <class Fn>
+  void for_each_within(Vec2 point, double radius, Fn&& fn) const {
+    if (positions_.empty() || radius < 0.0) return;
+    int cx0, cy0, cx1, cy1;
+    cell_coords({point.x - radius, point.y - radius}, cx0, cy0);
+    cell_coords({point.x + radius, point.y + radius}, cx1, cy1);
+    const double r2 = radius * radius;
+    for (int cy = cy0; cy <= cy1; ++cy) {
+      for (int cx = cx0; cx <= cx1; ++cx) {
+        const std::size_t c = cell_index(cx, cy);
+        for (std::uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+          const std::size_t j = cell_items_[k];
+          if (distance2(point, positions_[j]) <= r2) fn(j);
+        }
+      }
+    }
+  }
 
   /// Convenience: indices within radius of `point`, ascending order.
   std::vector<std::size_t> query(Vec2 point, double radius) const;
 
+  /// As above, reusing caller storage (`out` is cleared first) — the
+  /// zero-allocation form for per-step callers.
+  void query(Vec2 point, double radius, std::vector<std::size_t>& out) const;
+
  private:
-  std::size_t cell_index(int cx, int cy) const;
+  std::size_t cell_index(int cx, int cy) const {
+    return static_cast<std::size_t>(cy) * cols_ + cx;
+  }
   void cell_coords(Vec2 p, int& cx, int& cy) const;
 
   Aabb bounds_;
@@ -45,6 +68,10 @@ class SpatialGrid {
   // CSR layout: cell_start_[c]..cell_start_[c+1] indexes into cell_items_.
   std::vector<std::uint32_t> cell_start_;
   std::vector<std::uint32_t> cell_items_;
+  // rebuild() scratch, kept across calls so a warm rebuild is allocation
+  // free: per-cell fill cursors and each point's home cell.
+  std::vector<std::uint32_t> cursor_;
+  std::vector<std::uint32_t> home_;
 };
 
 }  // namespace agentnet

@@ -54,6 +54,18 @@ std::size_t Graph::in_degree(NodeId u) const {
   return count;
 }
 
+std::vector<std::size_t> Graph::in_degrees() const {
+  std::vector<std::size_t> out;
+  in_degrees(out);
+  return out;
+}
+
+void Graph::in_degrees(std::vector<std::size_t>& out) const {
+  out.assign(adjacency_.size(), 0);
+  for (const auto& adj : adjacency_)
+    for (NodeId v : adj) ++out[v];
+}
+
 std::vector<Edge> Graph::edges() const {
   std::vector<Edge> out;
   out.reserve(edge_count_);
@@ -65,6 +77,63 @@ std::vector<Edge> Graph::edges() const {
 void Graph::clear_edges() {
   for (auto& adj : adjacency_) adj.clear();
   edge_count_ = 0;
+}
+
+void Graph::reset(std::size_t node_count) {
+  // resize keeps the surviving inner vectors (and their capacity); clearing
+  // them drops the edges without freeing anything.
+  adjacency_.resize(node_count);
+  for (auto& adj : adjacency_) adj.clear();
+  edge_count_ = 0;
+}
+
+void Graph::assign_out_edges(NodeId u,
+                             std::span<const NodeId> sorted_neighbors) {
+  check_node(u);
+  auto& adj = adjacency_[u];
+  edge_count_ -= adj.size();
+  adj.assign(sorted_neighbors.begin(), sorted_neighbors.end());
+  edge_count_ += adj.size();
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    AGENTNET_ASSERT_MSG(adj[i] != u, "self-loop in assigned adjacency");
+    AGENTNET_ASSERT_MSG(adj[i] < adjacency_.size(), "neighbor out of range");
+    AGENTNET_ASSERT_MSG(i == 0 || adj[i - 1] < adj[i],
+                        "assigned adjacency must be strictly ascending");
+  }
+#endif
+}
+
+void Graph::transposed_into(Graph& out) const {
+  out.reset(adjacency_.size());
+  // Counting pass: size each reversed adjacency up front so the append
+  // pass below never reallocates mid-build.
+  const std::vector<std::size_t> degs = in_degrees();
+  for (NodeId v = 0; v < adjacency_.size(); ++v)
+    out.adjacency_[v].reserve(degs[v]);
+  for (NodeId u = 0; u < adjacency_.size(); ++u)
+    for (NodeId v : adjacency_[u]) out.adjacency_[v].push_back(u);
+  // Sources were visited in ascending order, so every reversed adjacency is
+  // already sorted — no per-edge insertion sort.
+  out.edge_count_ = edge_count_;
+}
+
+void CsrView::rebuild_from(const Graph& graph) {
+  const std::size_t n = graph.node_count();
+  offsets_.resize(n + 1);
+  targets_.clear();
+  targets_.reserve(graph.edge_count());
+  offsets_[0] = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = graph.out_neighbors(u);
+    targets_.insert(targets_.end(), nbrs.begin(), nbrs.end());
+    offsets_[u + 1] = static_cast<std::uint32_t>(targets_.size());
+  }
+}
+
+bool CsrView::has_edge(NodeId u, NodeId v) const {
+  const auto nbrs = out_neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }
 
 }  // namespace agentnet

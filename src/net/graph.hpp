@@ -4,7 +4,9 @@
 // battery-degraded radio ranges ⇒ A can hear B without B hearing A). Node
 // counts are in the hundreds and topologies are rebuilt wholesale each step
 // under mobility, so the representation favours simplicity and cache-friendly
-// iteration over incremental update tricks.
+// iteration over incremental update tricks. For rebuild-every-step callers,
+// reset() + assign_out_edges() recycle the per-node storage, and CsrView
+// freezes a graph into two flat arrays for read-heavy consumers.
 #pragma once
 
 #include <cstdint>
@@ -47,13 +49,34 @@ class Graph {
   /// Out-neighbours of u in ascending id order.
   std::span<const NodeId> out_neighbors(NodeId u) const;
   std::size_t out_degree(NodeId u) const { return out_neighbors(u).size(); }
+  /// O(V·log d) single-node scan; when you need every node's in-degree,
+  /// use in_degrees() — one pass over the edges instead of V scans.
   std::size_t in_degree(NodeId u) const;
+  /// All in-degrees in one pass over the adjacency (O(V+E)).
+  std::vector<std::size_t> in_degrees() const;
+  /// As above, reusing caller storage.
+  void in_degrees(std::vector<std::size_t>& out) const;
 
   /// All edges in (from, to) lexicographic order.
   std::vector<Edge> edges() const;
 
   /// Drops all edges, keeps the node set.
   void clear_edges();
+
+  /// Resizes to `node_count` nodes with no edges, recycling each node's
+  /// adjacency capacity — the rebuild-every-step entry point.
+  void reset(std::size_t node_count);
+
+  /// Replaces u's out-list with `sorted_neighbors` (strictly ascending, no
+  /// self-loop), appending into recycled storage. Pairs with reset():
+  /// TopologyBuilder writes each adjacency append-only instead of
+  /// insertion-sorting edge by edge.
+  void assign_out_edges(NodeId u, std::span<const NodeId> sorted_neighbors);
+
+  /// Writes the transpose into `out` (recycling its storage): counting pass
+  /// over in_degrees() to reserve, then an append pass that emits each
+  /// reversed adjacency already sorted.
+  void transposed_into(Graph& out) const;
 
   friend bool operator==(const Graph&, const Graph&) = default;
 
@@ -64,6 +87,40 @@ class Graph {
 
   std::vector<std::vector<NodeId>> adjacency_;
   std::size_t edge_count_ = 0;
+};
+
+/// A frozen CSR snapshot of a Graph: one offsets array, one targets array.
+/// Read-heavy per-step consumers (BFS, connectivity walks, coverage
+/// measurement) iterate this instead of the vector-of-vectors — the whole
+/// edge set is two contiguous allocations, and rebuild_from() recycles them
+/// across steps. The neighbour order is exactly the Graph's (ascending), so
+/// any algorithm gives bit-identical results on either representation.
+class CsrView {
+ public:
+  CsrView() = default;
+  explicit CsrView(const Graph& graph) { rebuild_from(graph); }
+
+  /// Re-freezes from `graph`, reusing both arrays.
+  void rebuild_from(const Graph& graph);
+
+  std::size_t node_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::size_t edge_count() const { return targets_.size(); }
+
+  std::span<const NodeId> out_neighbors(NodeId u) const {
+    AGENTNET_ASSERT_MSG(u + 1 < offsets_.size(), "node id out of range");
+    return {targets_.data() + offsets_[u],
+            targets_.data() + offsets_[u + 1]};
+  }
+  std::size_t out_degree(NodeId u) const { return out_neighbors(u).size(); }
+  bool has_edge(NodeId u, NodeId v) const;
+
+  friend bool operator==(const CsrView&, const CsrView&) = default;
+
+ private:
+  std::vector<std::uint32_t> offsets_;  // node_count + 1 entries
+  std::vector<NodeId> targets_;         // edge_count entries, sorted per node
 };
 
 }  // namespace agentnet

@@ -5,8 +5,15 @@
 
 namespace agentnet {
 
-std::vector<int> bfs_distances(const Graph& graph, NodeId src) {
-  std::vector<int> dist(graph.node_count(), -1);
+namespace {
+
+// Shared over Graph and CsrView — both expose node_count()/out_neighbors()
+// with identical (ascending) neighbour order, so the results are
+// bit-identical across representations.
+template <class AnyGraph>
+void bfs_distances_impl(const AnyGraph& graph, NodeId src,
+                        std::vector<int>& dist) {
+  dist.assign(graph.node_count(), -1);
   AGENTNET_REQUIRE(src < graph.node_count(), "bfs source out of range");
   std::queue<NodeId> frontier;
   dist[src] = 0;
@@ -21,13 +28,37 @@ std::vector<int> bfs_distances(const Graph& graph, NodeId src) {
       }
     }
   }
+}
+
+std::size_t count_reached(const std::vector<int>& dist) {
+  return static_cast<std::size_t>(
+      std::count_if(dist.begin(), dist.end(), [](int d) { return d >= 0; }));
+}
+
+}  // namespace
+
+std::vector<int> bfs_distances(const Graph& graph, NodeId src) {
+  std::vector<int> dist;
+  bfs_distances_impl(graph, src, dist);
   return dist;
 }
 
+std::vector<int> bfs_distances(const CsrView& graph, NodeId src) {
+  std::vector<int> dist;
+  bfs_distances_impl(graph, src, dist);
+  return dist;
+}
+
+void bfs_distances(const CsrView& graph, NodeId src, std::vector<int>& dist) {
+  bfs_distances_impl(graph, src, dist);
+}
+
 std::size_t reachable_count(const Graph& graph, NodeId src) {
-  const auto dist = bfs_distances(graph, src);
-  return static_cast<std::size_t>(
-      std::count_if(dist.begin(), dist.end(), [](int d) { return d >= 0; }));
+  return count_reached(bfs_distances(graph, src));
+}
+
+std::size_t reachable_count(const CsrView& graph, NodeId src) {
+  return count_reached(bfs_distances(graph, src));
 }
 
 bool is_strongly_connected(const Graph& graph) {
@@ -114,6 +145,13 @@ DegreeStats degree_stats(const Graph& graph) {
     stats.min_out = std::min(stats.min_out, d);
     stats.max_out = std::max(stats.max_out, d);
   }
+  // One bulk pass instead of node_count separate in_degree() scans.
+  const std::vector<std::size_t> ins = graph.in_degrees();
+  stats.min_in = ins[0];
+  for (std::size_t d : ins) {
+    stats.min_in = std::min(stats.min_in, d);
+    stats.max_in = std::max(stats.max_in, d);
+  }
   stats.mean_out = static_cast<double>(graph.edge_count()) /
                    static_cast<double>(graph.node_count());
   if (graph.edge_count() > 0) {
@@ -127,8 +165,8 @@ DegreeStats degree_stats(const Graph& graph) {
 }
 
 Graph reversed(const Graph& graph) {
-  Graph rev(graph.node_count());
-  for (const Edge& e : graph.edges()) rev.add_edge(e.to, e.from);
+  Graph rev;
+  graph.transposed_into(rev);
   return rev;
 }
 

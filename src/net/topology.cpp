@@ -16,9 +16,17 @@ TopologyBuilder::TopologyBuilder(Aabb bounds, double max_range,
 
 Graph TopologyBuilder::build(const std::vector<Vec2>& positions,
                              const std::vector<double>& ranges) {
+  Graph graph;
+  build_into(graph, positions, ranges);
+  return graph;
+}
+
+void TopologyBuilder::build_into(Graph& graph,
+                                 const std::vector<Vec2>& positions,
+                                 const std::vector<double>& ranges) {
   AGENTNET_REQUIRE(positions.size() == ranges.size(),
                    "positions/ranges size mismatch");
-  Graph graph(positions.size());
+  graph.reset(positions.size());
   grid_.rebuild(positions);
   for (std::size_t u = 0; u < positions.size(); ++u) {
     AGENTNET_REQUIRE(ranges[u] <= max_range_ * (1.0 + 1e-12),
@@ -27,6 +35,7 @@ Graph TopologyBuilder::build(const std::vector<Vec2>& positions,
     // is evaluated per candidate.
     const double query_radius =
         policy_ == LinkPolicy::kSymmetricOr ? max_range_ : ranges[u];
+    scratch_.clear();
     grid_.for_each_within(positions[u], query_radius, [&](std::size_t v) {
       if (v == u) return;
       const double d2 = distance2(positions[u], positions[v]);
@@ -34,21 +43,23 @@ Graph TopologyBuilder::build(const std::vector<Vec2>& positions,
       const double rv2 = ranges[v] * ranges[v];
       switch (policy_) {
         case LinkPolicy::kDirected:
-          if (d2 <= ru2) graph.add_edge(static_cast<NodeId>(u),
-                                        static_cast<NodeId>(v));
+          if (d2 <= ru2) scratch_.push_back(static_cast<NodeId>(v));
           break;
         case LinkPolicy::kSymmetricAnd:
           if (d2 <= ru2 && d2 <= rv2)
-            graph.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+            scratch_.push_back(static_cast<NodeId>(v));
           break;
         case LinkPolicy::kSymmetricOr:
           if (d2 <= ru2 || d2 <= rv2)
-            graph.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+            scratch_.push_back(static_cast<NodeId>(v));
           break;
       }
     });
+    // One sort per node replaces a per-edge insertion sort; the accepted set
+    // has no duplicates (each point lives in exactly one grid cell).
+    std::sort(scratch_.begin(), scratch_.end());
+    graph.assign_out_edges(static_cast<NodeId>(u), scratch_);
   }
-  return graph;
 }
 
 }  // namespace agentnet

@@ -18,7 +18,8 @@ enum class LinkPolicy {
 };
 
 /// Rebuilds graphs from (positions, effective ranges). Stateless apart from
-/// a reusable spatial grid sized for the largest range it will see.
+/// a reusable spatial grid (sized for the largest range it will see) and
+/// per-node scratch, so build_into() on a warm builder allocates nothing.
 class TopologyBuilder {
  public:
   /// `max_range` bounds every effective range passed to build(); used only
@@ -28,14 +29,23 @@ class TopologyBuilder {
   LinkPolicy policy() const { return policy_; }
 
   /// Computes the link graph for the given snapshot. `ranges[i]` is node
-  /// i's current effective radio range.
+  /// i's current effective radio range. Thin wrapper over build_into().
   Graph build(const std::vector<Vec2>& positions,
               const std::vector<double>& ranges);
+
+  /// Rebuilds `graph` in place, recycling its adjacency capacity (and the
+  /// builder's grid + scratch) across steps. Each node's accepted
+  /// neighbours are gathered, sorted once and written append-only — no
+  /// per-edge insertion sort. Produces a Graph identical (operator==) to
+  /// build()'s.
+  void build_into(Graph& graph, const std::vector<Vec2>& positions,
+                  const std::vector<double>& ranges);
 
  private:
   SpatialGrid grid_;
   LinkPolicy policy_;
   double max_range_;
+  std::vector<NodeId> scratch_;  ///< One node's accepted neighbours.
 };
 
 }  // namespace agentnet

@@ -6,10 +6,16 @@
 
 namespace agentnet {
 
-std::vector<bool> valid_route_flags(const Graph& graph,
-                                    const RoutingTables& tables,
-                                    const std::vector<bool>& is_gateway,
-                                    std::size_t max_hops) {
+namespace {
+
+// Templated over Graph / CsrView: both expose node_count() and has_edge()
+// and the walk logic is identical, so either representation yields the same
+// flags bit for bit.
+template <class AnyGraph>
+std::vector<bool> valid_route_flags_impl(const AnyGraph& graph,
+                                         const RoutingTables& tables,
+                                         const std::vector<bool>& is_gateway,
+                                         std::size_t max_hops) {
   const std::size_t n = graph.node_count();
   AGENTNET_REQUIRE(tables.size() == n, "tables/graph size mismatch");
   AGENTNET_REQUIRE(is_gateway.size() == n, "gateway mask size mismatch");
@@ -68,11 +74,12 @@ std::vector<bool> valid_route_flags(const Graph& graph,
   return valid;
 }
 
-ConnectivityResult measure_connectivity(const Graph& graph,
-                                        const RoutingTables& tables,
-                                        const std::vector<bool>& is_gateway,
-                                        std::size_t max_hops) {
-  const auto valid = valid_route_flags(graph, tables, is_gateway, max_hops);
+template <class AnyGraph>
+ConnectivityResult measure_connectivity_impl(
+    const AnyGraph& graph, const RoutingTables& tables,
+    const std::vector<bool>& is_gateway, std::size_t max_hops) {
+  const auto valid =
+      valid_route_flags_impl(graph, tables, is_gateway, max_hops);
   ConnectivityResult result;
   result.total = valid.size();
   for (bool v : valid)
@@ -80,14 +87,14 @@ ConnectivityResult measure_connectivity(const Graph& graph,
   return result;
 }
 
-ConnectivityResult oracle_connectivity(const Graph& graph,
-                                       const std::vector<bool>& is_gateway) {
+template <class AnyGraph>
+ConnectivityResult oracle_connectivity_impl(
+    const AnyGraph& graph, const std::vector<bool>& is_gateway,
+    const Graph& rev) {
   const std::size_t n = graph.node_count();
   AGENTNET_REQUIRE(is_gateway.size() == n, "gateway mask size mismatch");
   // A node is potentially connected iff it reaches a gateway along edge
   // directions; BFS from all gateways over *incoming* edges.
-  Graph rev(n);
-  for (const Edge& e : graph.edges()) rev.add_edge(e.to, e.from);
   std::vector<bool> reach(n, false);
   std::queue<NodeId> frontier;
   for (NodeId v = 0; v < n; ++v) {
@@ -111,6 +118,43 @@ ConnectivityResult oracle_connectivity(const Graph& graph,
   for (bool r : reach)
     if (r) ++result.connected;
   return result;
+}
+
+}  // namespace
+
+std::vector<bool> valid_route_flags(const Graph& graph,
+                                    const RoutingTables& tables,
+                                    const std::vector<bool>& is_gateway,
+                                    std::size_t max_hops) {
+  return valid_route_flags_impl(graph, tables, is_gateway, max_hops);
+}
+
+std::vector<bool> valid_route_flags(const CsrView& graph,
+                                    const RoutingTables& tables,
+                                    const std::vector<bool>& is_gateway,
+                                    std::size_t max_hops) {
+  return valid_route_flags_impl(graph, tables, is_gateway, max_hops);
+}
+
+ConnectivityResult measure_connectivity(const Graph& graph,
+                                        const RoutingTables& tables,
+                                        const std::vector<bool>& is_gateway,
+                                        std::size_t max_hops) {
+  return measure_connectivity_impl(graph, tables, is_gateway, max_hops);
+}
+
+ConnectivityResult measure_connectivity(const CsrView& graph,
+                                        const RoutingTables& tables,
+                                        const std::vector<bool>& is_gateway,
+                                        std::size_t max_hops) {
+  return measure_connectivity_impl(graph, tables, is_gateway, max_hops);
+}
+
+ConnectivityResult oracle_connectivity(const Graph& graph,
+                                       const std::vector<bool>& is_gateway) {
+  Graph rev;
+  graph.transposed_into(rev);
+  return oracle_connectivity_impl(graph, is_gateway, rev);
 }
 
 }  // namespace agentnet

@@ -29,9 +29,19 @@ ConnectivityResult measure_connectivity(const Graph& graph,
                                         const RoutingTables& tables,
                                         const std::vector<bool>& is_gateway,
                                         std::size_t max_hops = 0);
+/// CSR variant — bit-identical result; measurement phases iterate the
+/// frozen snapshot instead of the vector-of-vectors graph.
+ConnectivityResult measure_connectivity(const CsrView& graph,
+                                        const RoutingTables& tables,
+                                        const std::vector<bool>& is_gateway,
+                                        std::size_t max_hops = 0);
 
 /// Per-node validity flags from the same walk (diagnostics / tests).
 std::vector<bool> valid_route_flags(const Graph& graph,
+                                    const RoutingTables& tables,
+                                    const std::vector<bool>& is_gateway,
+                                    std::size_t max_hops = 0);
+std::vector<bool> valid_route_flags(const CsrView& graph,
                                     const RoutingTables& tables,
                                     const std::vector<bool>& is_gateway,
                                     std::size_t max_hops = 0);

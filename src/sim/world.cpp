@@ -48,6 +48,7 @@ World World::fixed(Graph graph) {
               LinkPolicy::kDirected);
   world.fixed_topology_ = true;
   world.graph_ = std::move(graph);
+  world.csr_.rebuild_from(world.graph_);
   return world;
 }
 
@@ -67,12 +68,16 @@ void World::set_link_flapper(std::optional<LinkFlapper> flapper) {
 }
 
 void World::rebuild_graph() {
-  if (fixed_topology_) return;
-  std::vector<double> ranges(positions_.size());
-  for (std::size_t i = 0; i < ranges.size(); ++i)
-    ranges[i] = effective_range(static_cast<NodeId>(i));
-  graph_ = builder_.build(positions_, ranges);
-  if (flapper_) flapper_->apply(graph_, step_);
+  if (fixed_topology_) return;  // pinned graph (and its CSR) never change
+  ranges_.resize(positions_.size());
+  for (std::size_t i = 0; i < ranges_.size(); ++i)
+    ranges_[i] = effective_range(static_cast<NodeId>(i));
+  // Rebuild into the back buffer (recycling its adjacency capacity from two
+  // steps ago) and swap — no per-step Graph allocation once warm.
+  builder_.build_into(back_graph_, positions_, ranges_);
+  if (flapper_) flapper_->apply(back_graph_, step_);
+  std::swap(graph_, back_graph_);
+  csr_.rebuild_from(graph_);
 }
 
 }  // namespace agentnet

@@ -47,6 +47,14 @@ class World {
   std::size_t node_count() const { return positions_.size(); }
   std::size_t step() const { return step_; }
   const Graph& graph() const { return graph_; }
+  /// Frozen CSR snapshot of graph(), refreshed on every rebuild. Read-heavy
+  /// per-step consumers (connectivity walks, coverage measurement) iterate
+  /// this; results are bit-identical to iterating graph().
+  const CsrView& csr() const { return csr_; }
+  /// True when the graph is derived from node geometry (positions/ranges).
+  /// fixed() worlds pin an abstract graph over synthetic geometry, so
+  /// geometric shortcuts (edge ⇒ within radio range) do not hold there.
+  bool geometric() const { return !fixed_topology_; }
   const std::vector<Vec2>& positions() const { return positions_; }
   const RadioModel& radio() const { return radio_; }
   const BatteryBank& batteries() const { return batteries_; }
@@ -73,6 +81,11 @@ class World {
   std::unique_ptr<MobilityModel> mobility_;
   TopologyBuilder builder_;
   Graph graph_;
+  // Double buffer: each rebuild writes into back_graph_ (recycling its
+  // per-node capacity) and swaps — steady-state advance() allocates nothing.
+  Graph back_graph_;
+  CsrView csr_;
+  std::vector<double> ranges_;  ///< rebuild_graph() scratch.
   std::optional<LinkFlapper> flapper_;
   bool fixed_topology_ = false;
   std::size_t step_ = 0;

@@ -205,7 +205,7 @@ TEST(RoutingAgentTest, AdoptTakesBetterHintOnly) {
 TEST(RoutingAgentTest, AdoptMergesHistoriesWithMax) {
   auto agent = make_agent(RoutingPolicy::kOldestNode, 10, 1);
   agent.arrive(kGateway0, 5);  // knows 1@5
-  std::map<NodeId, std::size_t> peer{{1, 2}, {3, 7}};
+  FlatMap<NodeId, std::size_t> peer{{1, 2}, {3, 7}};
   agent.adopt(RoutingAgent::RouteHint{}, peer);
   EXPECT_EQ(agent.history().at(1), 5u) << "max of own and peer time";
   EXPECT_EQ(agent.history().at(3), 7u);
@@ -214,7 +214,7 @@ TEST(RoutingAgentTest, AdoptMergesHistoriesWithMax) {
 TEST(RoutingAgentTest, AdoptRespectsHistoryBound) {
   auto agent = make_agent(RoutingPolicy::kOldestNode, 2, 1);
   agent.arrive(kGateway0, 10);  // knows 1@10
-  std::map<NodeId, std::size_t> peer{{2, 8}, {3, 9}, {4, 1}};
+  FlatMap<NodeId, std::size_t> peer{{2, 8}, {3, 9}, {4, 1}};
   agent.adopt(RoutingAgent::RouteHint{}, peer);
   EXPECT_EQ(agent.history().size(), 2u);
   // The freshest two survive: 1@10 and 3@9.

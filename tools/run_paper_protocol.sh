@@ -54,7 +54,19 @@ if [ "${1:-}" = "--smoke" ]; then
     population=10 runs=2
   build-tsan/tools/trace_check --require=node_crash --require=node_recover \
     --require=lost "$tmp/map_chaos.jsonl" "$tmp/route_chaos.jsonl"
-  echo "TSan + trace + chaos smoke passed" >&2
+  echo "##### hot-path equivalence suite (TSan)"
+  cmake --build build-tsan --target rebuild_equivalence_test -j"$(nproc)"
+  build-tsan/tests/rebuild_equivalence_test
+  echo "##### microbench gate (report-only; docs/PERFORMANCE.md)"
+  # Report-only: CI containers are 1-core and noisy, so the smoke leg
+  # records the numbers without enforcing; run tools/bench_gate directly
+  # (no flag) to enforce the threshold on quiet hardware.
+  if [ -x build/bench/perf_micro ]; then
+    tools/bench_gate --no-fail
+  else
+    echo "perf_micro not built (Release tree) — skipping bench gate" >&2
+  fi
+  echo "TSan + trace + chaos + perf smoke passed" >&2
   exit 0
 fi
 
