@@ -1,0 +1,127 @@
+// Macro benchmarks (google-benchmark): whole-world steps/sec for the three
+// regimes the incremental topology path targets, each in Full and
+// Incremental pairs sharing a name stem. tools/bench_gate reads
+// items_per_second off both and reports/gates the Incremental/Full speedup
+// (routing ≥2×, scale ≥5× by default; mapping-static is informational —
+// both modes skip rebuilds entirely when nothing moves).
+//
+// Worlds are built directly with RandomDirectionMobility rather than the
+// scenarios' TraceMobility: a recorded trace freezes once playback ends,
+// which would silently turn a long timing run into the static case.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "energy/battery.hpp"
+#include "geom/vec2.hpp"
+#include "mobility/mobility.hpp"
+#include "net/generators.hpp"
+#include "radio/range_model.hpp"
+#include "sim/world.hpp"
+
+namespace agentnet {
+namespace {
+
+struct MacroParams {
+  std::size_t node_count = 250;
+  double mobile_fraction = 0.5;
+  double side = 1000.0;  ///< Square arena edge length.
+  std::uint64_t seed = 2010;
+};
+
+/// A routing-style world (heterogeneous battery-backed radios, paper
+/// movement parameters) with never-ending random-direction motion.
+World make_macro_world(const MacroParams& p, bool incremental) {
+  Rng rng(p.seed);
+  const Aabb bounds{{0.0, 0.0}, {p.side, p.side}};
+  std::vector<Vec2> positions = random_positions(p.node_count, bounds, rng);
+  std::vector<double> ranges =
+      heterogeneous_ranges(p.node_count, 110.0 * 0.85, 110.0 * 1.15, rng);
+  std::vector<bool> mobile(p.node_count, false);
+  const auto mobile_count = static_cast<std::size_t>(
+      std::llround(p.mobile_fraction * static_cast<double>(p.node_count)));
+  for (std::size_t i = 0; i < mobile_count; ++i) mobile[i] = true;
+  auto mobility = std::make_unique<RandomDirectionMobility>(
+      bounds, mobile, RandomDirectionMobility::Params{0.5, 3.0, 0.05},
+      rng.fork(0x30B));
+  BatteryBank batteries(p.node_count, mobile, BatteryParams{1.0, 0.001});
+  World world(bounds, std::move(positions),
+              RadioModel(std::move(ranges), RangeScaling{0.6}),
+              std::move(batteries), std::move(mobility),
+              LinkPolicy::kSymmetricAnd);
+  world.set_incremental_topology(incremental);
+  return world;
+}
+
+void advance_loop(benchmark::State& state, World world) {
+  for (int i = 0; i < 16; ++i) world.advance();  // warm every buffer
+  for (auto _ : state) {
+    world.advance();
+    benchmark::DoNotOptimize(world.graph().edge_count());
+    benchmark::DoNotOptimize(world.epoch());
+  }
+  state.SetItemsProcessed(state.iterations());  // items/sec == steps/sec
+}
+
+// --- Mapping regime: static sensor field, nothing ever moves. Both modes
+// --- detect the empty dirty set and skip all topology work.
+void BM_MappingStaticAdvanceFull(benchmark::State& state) {
+  MacroParams p;
+  p.node_count = 100;
+  p.mobile_fraction = 0.0;
+  p.side = 632.0;  // ≈250-node paper density at n=100
+  advance_loop(state, make_macro_world(p, false));
+}
+BENCHMARK(BM_MappingStaticAdvanceFull);
+
+void BM_MappingStaticAdvanceIncremental(benchmark::State& state) {
+  MacroParams p;
+  p.node_count = 100;
+  p.mobile_fraction = 0.0;
+  p.side = 632.0;
+  advance_loop(state, make_macro_world(p, true));
+}
+BENCHMARK(BM_MappingStaticAdvanceIncremental);
+
+// --- Routing regime: the paper's dynamic network, n=250 with half the
+// --- nodes mobile. Every step dirties ~125 nodes; the incremental win is
+// --- bounded but must stay ≥2×.
+void BM_RoutingAdvanceFull(benchmark::State& state) {
+  advance_loop(state, make_macro_world(MacroParams{}, false));
+}
+BENCHMARK(BM_RoutingAdvanceFull);
+
+void BM_RoutingAdvanceIncremental(benchmark::State& state) {
+  advance_loop(state, make_macro_world(MacroParams{}, true));
+}
+BENCHMARK(BM_RoutingAdvanceIncremental);
+
+// --- Scalability regime: n=2000 mostly static (5% mobile) at the same
+// --- spatial density (side scales with sqrt(n)). Full rebuilds touch all
+// --- 2000 rows for ~100 movers; incremental must win ≥5×.
+MacroParams scale_params() {
+  MacroParams p;
+  p.node_count = 2000;
+  p.mobile_fraction = 0.05;
+  p.side = 1000.0 * std::sqrt(2000.0 / 250.0);  // ≈2828: same density
+  return p;
+}
+
+void BM_ScaleAdvanceFull(benchmark::State& state) {
+  advance_loop(state, make_macro_world(scale_params(), false));
+}
+BENCHMARK(BM_ScaleAdvanceFull);
+
+void BM_ScaleAdvanceIncremental(benchmark::State& state) {
+  advance_loop(state, make_macro_world(scale_params(), true));
+}
+BENCHMARK(BM_ScaleAdvanceIncremental);
+
+}  // namespace
+}  // namespace agentnet
+
+BENCHMARK_MAIN();

@@ -17,6 +17,7 @@
 #include <iostream>
 
 #include "agentnet.hpp"
+#include "obs/obs.hpp"
 
 using namespace agentnet;
 
@@ -85,8 +86,13 @@ int run_mapping(Options& opts) {
     os << to_dot(net);
   }
 
-  const MappingSummary summary =
-      run_mapping_experiment(net, task, runs, paper::kRunSeedBase);
+  // Collect the merged per-run counters so CSV exports can carry them as a
+  // `#` footer (topology upkeep and cache-hit totals included).
+  obs::RunObs run_obs;
+  const MappingSummary summary = [&] {
+    obs::ObsRunScope scope(run_obs);
+    return run_mapping_experiment(net, task, runs, paper::kRunSeedBase);
+  }();
   std::printf(
       "%d x %s%s agents: finishing time %.1f ± %.1f over %d runs"
       " (%d unfinished)\n",
@@ -99,6 +105,7 @@ int run_mapping(Options& opts) {
     AGENTNET_REQUIRE(os.is_open(), "cannot write " + csv);
     write_series_csv(os, {"knowledge_mean", "knowledge_stddev"},
                      {summary.knowledge.mean(), summary.knowledge.stddev()});
+    obs::write_counter_footer(os, run_obs.counters);
     std::printf("knowledge series written to %s\n", csv.c_str());
   }
   return 0;
@@ -146,8 +153,11 @@ int run_routing(Options& opts) {
     save_scenario_file(scenario, export_scenario);
     std::printf("scenario written to %s\n", export_scenario.c_str());
   }
-  const RoutingSummary summary =
-      run_routing_experiment(scenario, task, runs, paper::kRunSeedBase);
+  obs::RunObs run_obs;
+  const RoutingSummary summary = [&] {
+    obs::ObsRunScope scope(run_obs);
+    return run_routing_experiment(scenario, task, runs, paper::kRunSeedBase);
+  }();
   std::printf(
       "%d x %s agents%s%s: connectivity %.3f ± %.3f over %d runs\n",
       task.population, to_string(task.agent.policy),
@@ -176,6 +186,7 @@ int run_routing(Options& opts) {
       series.push_back(summary.oracle.mean());
     }
     write_series_csv(os, names, series);
+    obs::write_counter_footer(os, run_obs.counters);
     std::printf("connectivity series written to %s\n", csv.c_str());
   }
   return 0;

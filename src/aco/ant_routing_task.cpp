@@ -33,6 +33,9 @@ AntRoutingResult run_ant_routing_task(const RoutingScenario& scenario,
                         rng);
   AntRoutingResult result;
   result.connectivity.reserve(config.steps);
+  // Keyed on (world epoch, snapshot contents): skips the walk when neither
+  // the edge set nor the pheromone-derived tables changed since last step.
+  ConnectivityCache conn_cache;
   setup_phase.stop();
   for (std::size_t t = 0; t < config.steps; ++t) {
     {
@@ -54,8 +57,7 @@ AntRoutingResult run_ant_routing_task(const RoutingScenario& scenario,
       // (bit-identical to walking world.graph()).
       if (injector) injector->live_graph(world, world.step());
       result.connectivity.push_back(
-          measure_connectivity(world.csr(), tables, scenario.is_gateway())
-              .fraction());
+          conn_cache.measure(world, tables, scenario.is_gateway()).fraction());
     }
   }
   AGENTNET_OBS_PHASE(kSummarize);

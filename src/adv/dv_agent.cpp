@@ -135,6 +135,9 @@ DvRoutingTaskResult run_dv_routing_task(const RoutingScenario& scenario,
 
   DvRoutingTaskResult result;
   result.connectivity.reserve(config.steps);
+  // Keyed on (world epoch, table contents): skips the walk when neither
+  // the edge set nor the tables changed since the last measurement.
+  ConnectivityCache conn_cache;
   setup_phase.stop();
   for (std::size_t t = 0; t < config.steps; ++t) {
     AGENTNET_OBS_PHASE(kStep);
@@ -192,7 +195,7 @@ DvRoutingTaskResult run_dv_routing_task(const RoutingScenario& scenario,
       // Fault-free topology: walk the frozen CSR snapshot (bit-identical
       // to walking world.graph()).
       result.connectivity.push_back(
-          measure_connectivity(world.csr(), tables, is_gateway).fraction());
+          conn_cache.measure(world, tables, is_gateway).fraction());
     }
   }
   result.final_population = agents.size();

@@ -288,6 +288,11 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
   // FaultPlan), which is what keeps fault-free configurations on their
   // exact historical sequences.
   FaultInjector injector(plan, rng.fork(0xFA11));
+  // Epoch-keyed measurement caches: when neither the edge set (world epoch)
+  // nor the tables changed since the last step, the walk is skipped and the
+  // stored result re-emitted bit-identically.
+  ConnectivityCache conn_cache;
+  OracleConnectivityCache oracle_cache;
   AgentWatchdog watchdog(plan.watchdog_ttl, roster.size());
   // Roster slot of each live agent (parallel to `agents`); every recovery
   // path fills a vacant slot, so occupancy stays a bijection.
@@ -541,11 +546,14 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
       result.connectivity.push_back(
           plan.topology_faults()
               ? measure_connectivity(measured, tables, is_gateway).fraction()
-              : measure_connectivity(world.csr(), tables, is_gateway)
-                    .fraction());
+              : conn_cache.measure(world, tables, is_gateway).fraction());
       if (config.record_oracle)
         result.oracle.push_back(
-            oracle_connectivity(measured, is_gateway).fraction());
+            oracle_cache
+                .measure(plan.topology_faults() ? kNoCacheEpoch
+                                                : world.epoch(),
+                         measured, is_gateway)
+                .fraction());
       // Traffic flows over the converged window only, so delivery measures
       // the steady state rather than the cold start.
       if (traffic && t >= config.measure_from)

@@ -35,20 +35,28 @@ bool FaultInjector::node_crashed(NodeId node, std::size_t step) const {
   return u01 < plan_.node_crash_probability;
 }
 
-const Graph& FaultInjector::live_graph(const Graph& graph,
-                                       const std::vector<Vec2>& positions,
-                                       std::size_t step) {
-  if (!plan_.topology_faults()) return graph;
-  if (have_mask_ && mask_step_ == step) return masked_;
+std::uint64_t FaultInjector::crash_window(std::size_t step) const {
+  return plan_.node_crash_probability > 0.0 ? step / plan_.crash_persistence
+                                            : 0;
+}
 
+std::uint64_t FaultInjector::burst_window(std::size_t step) const {
+  return burst_ ? step / plan_.burst_persistence : 0;
+}
+
+const Graph& FaultInjector::recompute_mask(const Graph& graph,
+                                           const std::vector<Vec2>& positions,
+                                           std::size_t step) {
   const std::size_t n = graph.node_count();
-  std::vector<char> down(n, 0);
+  down_scratch_.assign(n, 0);
+  std::vector<char>& down = down_scratch_;
   for (NodeId v = 0; v < static_cast<NodeId>(n); ++v)
     if (node_crashed(v, step)) down[v] = 1;
 
   // Blackouts need geometry; a world without per-node positions (fixed
   // abstract graphs) ignores them.
-  std::vector<char> zones_active(plan_.blackouts.size(), 0);
+  zones_scratch_.assign(plan_.blackouts.size(), 0);
+  std::vector<char>& zones_active = zones_scratch_;
   if (positions.size() == n) {
     for (std::size_t z = 0; z < plan_.blackouts.size(); ++z) {
       const Blackout& zone = plan_.blackouts[z];
@@ -85,27 +93,78 @@ const Graph& FaultInjector::live_graph(const Graph& graph,
     }
   }
 
-  masked_ = Graph(n);
+  // Filter-copy into recycled storage: per-node gather + append-only
+  // assign, no per-call Graph allocation and no per-edge insertion sort.
+  masked_.reset(n);
   for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
     if (down[u]) continue;
+    row_scratch_.clear();
     for (NodeId v : graph.out_neighbors(u)) {
       if (down[v]) continue;
       if (burst_ && burst_->down(u, v, step)) continue;
-      masked_.add_edge(u, v);
+      row_scratch_.push_back(v);
     }
+    masked_.assign_out_edges(u, row_scratch_);
   }
-  AGENTNET_COUNT_N(kFaultLinkDrops,
-                   graph.edge_count() - masked_.edge_count());
+  mask_drops_ = graph.edge_count() - masked_.edge_count();
+  AGENTNET_COUNT_N(kFaultLinkDrops, mask_drops_);
 
-  down_ = std::move(down);
-  blackout_active_ = std::move(zones_active);
+  std::swap(down_, down_scratch_);
+  std::swap(blackout_active_, zones_scratch_);
   have_mask_ = true;
   mask_step_ = step;
   return masked_;
 }
 
+const Graph& FaultInjector::live_graph(const Graph& graph,
+                                       const std::vector<Vec2>& positions,
+                                       std::size_t step) {
+  if (!plan_.topology_faults()) return graph;
+  if (have_mask_ && mask_step_ == step) return masked_;
+  have_world_mask_ = false;  // direct calls carry no epoch keys
+  return recompute_mask(graph, positions, step);
+}
+
 const Graph& FaultInjector::live_graph(const World& world, std::size_t step) {
-  return live_graph(world.graph(), world.positions(), step);
+  if (!plan_.topology_faults()) return world.graph();
+  if (have_mask_ && mask_step_ == step) return masked_;
+
+  // Cross-step reuse: the mask is a pure function of (graph, positions,
+  // fault windows). The world's epochs version the first two; the windows
+  // are compared directly. Any zone's schedule flipping forces a
+  // recompute, which is also what emits the transition events — so the
+  // cached path skips only steps that would have emitted nothing.
+  if (have_mask_ && have_world_mask_ &&
+      world.epoch() == mask_epoch_ &&
+      crash_window(step) == mask_crash_window_ &&
+      burst_window(step) == mask_burst_window_) {
+    bool zones_same = true;
+    bool any_active = false;
+    for (std::size_t z = 0; z < plan_.blackouts.size(); ++z) {
+      const bool active = plan_.blackouts[z].active(step);
+      any_active |= active;
+      if (active != (z < blackout_active_.size() &&
+                     blackout_active_[z] != 0)) {
+        zones_same = false;
+        break;
+      }
+    }
+    // While a blackout is active its coverage follows node positions.
+    if (zones_same && (!any_active || world.state_epoch() == mask_state_epoch_)) {
+      AGENTNET_COUNT_N(kFaultLinkDrops, mask_drops_);
+      AGENTNET_COUNT(kDerivedCacheHits);
+      mask_step_ = step;
+      return masked_;
+    }
+  }
+
+  const Graph& out = recompute_mask(world.graph(), world.positions(), step);
+  have_world_mask_ = true;
+  mask_epoch_ = world.epoch();
+  mask_state_epoch_ = world.state_epoch();
+  mask_crash_window_ = crash_window(step);
+  mask_burst_window_ = burst_window(step);
+  return out;
 }
 
 }  // namespace agentnet

@@ -75,7 +75,13 @@ class FaultInjector {
 
   /// Convenience overload reading graph and positions from a World; `step`
   /// is still explicit because frozen mapping worlds never advance their
-  /// own clock.
+  /// own clock. This overload also caches the mask *across* steps: it is
+  /// recomputed only when a fault window flipped (crash / burst /
+  /// blackout schedule) or the world reports a new graph epoch or — while
+  /// some blackout is active — a new state epoch (coverage follows node
+  /// positions). On a cross-step hit the cached per-step kFaultLinkDrops
+  /// total is re-emitted, so counter footers are identical to the
+  /// recompute-every-step path.
   const Graph& live_graph(const World& world, std::size_t step);
 
   /// True when `node` was down in the most recent live_graph() mask.
@@ -85,6 +91,13 @@ class FaultInjector {
   }
 
  private:
+  /// Recomputes the mask and transition bookkeeping for `step`.
+  const Graph& recompute_mask(const Graph& graph,
+                              const std::vector<Vec2>& positions,
+                              std::size_t step);
+  std::uint64_t crash_window(std::size_t step) const;
+  std::uint64_t burst_window(std::size_t step) const;
+
   FaultPlan plan_;
   Rng rng_;
   std::optional<LinkFlapper> burst_;
@@ -93,6 +106,16 @@ class FaultInjector {
   std::vector<char> blackout_active_;
   bool have_mask_ = false;
   std::size_t mask_step_ = 0;
+  // Cross-step cache keys (valid only for the World overload) and scratch.
+  bool have_world_mask_ = false;
+  std::uint64_t mask_epoch_ = 0;
+  std::uint64_t mask_state_epoch_ = 0;
+  std::uint64_t mask_crash_window_ = 0;
+  std::uint64_t mask_burst_window_ = 0;
+  std::size_t mask_drops_ = 0;  ///< Edges dropped by the cached mask.
+  std::vector<char> down_scratch_;
+  std::vector<char> zones_scratch_;
+  std::vector<NodeId> row_scratch_;
 };
 
 }  // namespace agentnet

@@ -15,7 +15,7 @@ SpatialGrid::SpatialGrid(Aabb bounds, double cell_size)
   cols_ = std::max(1, static_cast<int>(std::ceil(bounds.width() / cell_size)));
   rows_ =
       std::max(1, static_cast<int>(std::ceil(bounds.height() / cell_size)));
-  cell_start_.assign(static_cast<std::size_t>(cols_) * rows_ + 1, 0);
+  cells_.resize(static_cast<std::size_t>(cols_) * rows_);
 }
 
 void SpatialGrid::cell_coords(Vec2 p, int& cx, int& cy) const {
@@ -28,23 +28,35 @@ void SpatialGrid::cell_coords(Vec2 p, int& cx, int& cy) const {
 
 void SpatialGrid::rebuild(const std::vector<Vec2>& positions) {
   positions_.assign(positions.begin(), positions.end());
-  const std::size_t cells = static_cast<std::size_t>(cols_) * rows_;
-  // Counting pass into cell_start_ (shifted by one so the prefix sum lands
-  // in place), then a cursor pass scatters each index into its home cell.
-  cell_start_.assign(cells + 1, 0);
+  for (auto& cell : cells_) cell.clear();  // capacity survives
   home_.resize(positions_.size());
   for (std::size_t i = 0; i < positions_.size(); ++i) {
     int cx, cy;
     cell_coords(positions_[i], cx, cy);
     home_[i] = static_cast<std::uint32_t>(cell_index(cx, cy));
-    ++cell_start_[home_[i] + 1];
+    cells_[home_[i]].push_back(static_cast<std::uint32_t>(i));
   }
-  for (std::size_t c = 0; c < cells; ++c)
-    cell_start_[c + 1] += cell_start_[c];
-  cell_items_.resize(positions_.size());
-  cursor_.assign(cell_start_.begin(), cell_start_.end() - 1);
-  for (std::size_t i = 0; i < positions_.size(); ++i)
-    cell_items_[cursor_[home_[i]]++] = static_cast<std::uint32_t>(i);
+}
+
+bool SpatialGrid::move(std::size_t i, Vec2 p) {
+  AGENTNET_ASSERT(i < positions_.size());
+  positions_[i] = p;
+  int cx, cy;
+  cell_coords(p, cx, cy);
+  const auto cell = static_cast<std::uint32_t>(cell_index(cx, cy));
+  if (cell == home_[i]) return false;
+  // Swap-erase from the old bucket: bucket order carries no meaning.
+  auto& old_bucket = cells_[home_[i]];
+  for (std::size_t k = 0; k < old_bucket.size(); ++k) {
+    if (old_bucket[k] == static_cast<std::uint32_t>(i)) {
+      old_bucket[k] = old_bucket.back();
+      old_bucket.pop_back();
+      break;
+    }
+  }
+  cells_[cell].push_back(static_cast<std::uint32_t>(i));
+  home_[i] = cell;
+  return true;
 }
 
 std::vector<std::size_t> SpatialGrid::query(Vec2 point, double radius) const {

@@ -1,7 +1,13 @@
 // Uniform spatial hash grid over the arena; turns the O(n^2) "who is within
-// radio range" scan into a neighbourhood query of nearby cells. Rebuilt each
-// step by the topology builder; rebuild() reuses all internal buffers, so a
-// warm grid allocates nothing.
+// radio range" scan into a neighbourhood query of nearby cells. The topology
+// builder rebuilds it wholesale for full builds and relocates single points
+// with move() for incremental updates; both paths reuse internal buffers, so
+// a warm grid allocates nothing.
+//
+// Points live in per-cell buckets. Bucket order is not specified — callers
+// that need deterministic output sort the accepted candidates (query() does,
+// and the topology builder sorts each node's neighbour list), so every
+// consumer sees identical results whether the grid was rebuilt or patched.
 #pragma once
 
 #include <cstdint>
@@ -21,14 +27,22 @@ class SpatialGrid {
   /// Reuses internal storage — allocation-free once capacity is warm.
   void rebuild(const std::vector<Vec2>& positions);
 
+  /// Relocates point `i` to `p`. Returns true when the point changed grid
+  /// cell (bucket relocation happened); a move within the same cell — or a
+  /// no-op move — only updates the stored position and returns false.
+  bool move(std::size_t i, Vec2 p);
+
   std::size_t size() const { return positions_.size(); }
+  /// The position point `i` was last rebuilt or moved to.
+  Vec2 position(std::size_t i) const { return positions_[i]; }
   Aabb bounds() const { return bounds_; }
   double cell_size() const { return cell_size_; }
 
   /// Calls `fn(j)` for every point j (including i itself if present) with
   /// distance(point, positions[j]) <= radius. The callback is a template
   /// parameter so the per-candidate call inlines (no std::function
-  /// indirection on the topology-rebuild hot path).
+  /// indirection on the topology-rebuild hot path). Visit order within a
+  /// cell is unspecified; callers sort when order matters.
   template <class Fn>
   void for_each_within(Vec2 point, double radius, Fn&& fn) const {
     if (positions_.empty() || radius < 0.0) return;
@@ -38,10 +52,8 @@ class SpatialGrid {
     const double r2 = radius * radius;
     for (int cy = cy0; cy <= cy1; ++cy) {
       for (int cx = cx0; cx <= cx1; ++cx) {
-        const std::size_t c = cell_index(cx, cy);
-        for (std::uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
-          const std::size_t j = cell_items_[k];
-          if (distance2(point, positions_[j]) <= r2) fn(j);
+        for (std::uint32_t j : cells_[cell_index(cx, cy)]) {
+          if (distance2(point, positions_[j]) <= r2) fn(std::size_t{j});
         }
       }
     }
@@ -65,13 +77,10 @@ class SpatialGrid {
   int cols_ = 0;
   int rows_ = 0;
   std::vector<Vec2> positions_;
-  // CSR layout: cell_start_[c]..cell_start_[c+1] indexes into cell_items_.
-  std::vector<std::uint32_t> cell_start_;
-  std::vector<std::uint32_t> cell_items_;
-  // rebuild() scratch, kept across calls so a warm rebuild is allocation
-  // free: per-cell fill cursors and each point's home cell.
-  std::vector<std::uint32_t> cursor_;
-  std::vector<std::uint32_t> home_;
+  // Per-cell buckets (point indices); cells_[home_[i]] contains i. Bucket
+  // membership is maintained by rebuild() and move().
+  std::vector<std::vector<std::uint32_t>> cells_;
+  std::vector<std::uint32_t> home_;  ///< Each point's current cell.
 };
 
 }  // namespace agentnet

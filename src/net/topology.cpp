@@ -21,6 +21,39 @@ Graph TopologyBuilder::build(const std::vector<Vec2>& positions,
   return graph;
 }
 
+void TopologyBuilder::gather_row(NodeId u, const std::vector<Vec2>& positions,
+                                 const std::vector<double>& ranges) {
+  AGENTNET_REQUIRE(ranges[u] <= max_range_ * (1.0 + 1e-12),
+                   "effective range exceeds builder max_range");
+  // Query by this node's own reach; for symmetric policies the pair rule
+  // is evaluated per candidate.
+  const double query_radius =
+      policy_ == LinkPolicy::kSymmetricOr ? max_range_ : ranges[u];
+  scratch_.clear();
+  grid_.for_each_within(positions[u], query_radius, [&](std::size_t v) {
+    if (v == u) return;
+    const double d2 = distance2(positions[u], positions[v]);
+    const double ru2 = ranges[u] * ranges[u];
+    const double rv2 = ranges[v] * ranges[v];
+    switch (policy_) {
+      case LinkPolicy::kDirected:
+        if (d2 <= ru2) scratch_.push_back(static_cast<NodeId>(v));
+        break;
+      case LinkPolicy::kSymmetricAnd:
+        if (d2 <= ru2 && d2 <= rv2)
+          scratch_.push_back(static_cast<NodeId>(v));
+        break;
+      case LinkPolicy::kSymmetricOr:
+        if (d2 <= ru2 || d2 <= rv2)
+          scratch_.push_back(static_cast<NodeId>(v));
+        break;
+    }
+  });
+  // One sort per node replaces a per-edge insertion sort; the accepted set
+  // has no duplicates (each point lives in exactly one grid cell).
+  std::sort(scratch_.begin(), scratch_.end());
+}
+
 void TopologyBuilder::build_into(Graph& graph,
                                  const std::vector<Vec2>& positions,
                                  const std::vector<double>& ranges) {
@@ -29,37 +62,98 @@ void TopologyBuilder::build_into(Graph& graph,
   graph.reset(positions.size());
   grid_.rebuild(positions);
   for (std::size_t u = 0; u < positions.size(); ++u) {
-    AGENTNET_REQUIRE(ranges[u] <= max_range_ * (1.0 + 1e-12),
-                     "effective range exceeds builder max_range");
-    // Query by this node's own reach; for symmetric policies the pair rule
-    // is evaluated per candidate.
-    const double query_radius =
-        policy_ == LinkPolicy::kSymmetricOr ? max_range_ : ranges[u];
-    scratch_.clear();
-    grid_.for_each_within(positions[u], query_radius, [&](std::size_t v) {
-      if (v == u) return;
-      const double d2 = distance2(positions[u], positions[v]);
-      const double ru2 = ranges[u] * ranges[u];
-      const double rv2 = ranges[v] * ranges[v];
-      switch (policy_) {
-        case LinkPolicy::kDirected:
-          if (d2 <= ru2) scratch_.push_back(static_cast<NodeId>(v));
-          break;
-        case LinkPolicy::kSymmetricAnd:
-          if (d2 <= ru2 && d2 <= rv2)
-            scratch_.push_back(static_cast<NodeId>(v));
-          break;
-        case LinkPolicy::kSymmetricOr:
-          if (d2 <= ru2 || d2 <= rv2)
-            scratch_.push_back(static_cast<NodeId>(v));
-          break;
-      }
-    });
-    // One sort per node replaces a per-edge insertion sort; the accepted set
-    // has no duplicates (each point lives in exactly one grid cell).
-    std::sort(scratch_.begin(), scratch_.end());
+    gather_row(static_cast<NodeId>(u), positions, ranges);
     graph.assign_out_edges(static_cast<NodeId>(u), scratch_);
   }
+}
+
+bool TopologyBuilder::update_into(Graph& graph, std::span<const NodeId> dirty,
+                                  const std::vector<Vec2>& positions,
+                                  const std::vector<double>& ranges) {
+  const std::size_t n = positions.size();
+  AGENTNET_REQUIRE(positions.size() == ranges.size(),
+                   "positions/ranges size mismatch");
+  AGENTNET_REQUIRE(graph.node_count() == n && grid_.size() == n,
+                   "update_into needs the previously built graph/grid");
+  bool changed = false;
+  dirty_mask_.assign(n, 0);
+  for (NodeId u : dirty) {
+    AGENTNET_ASSERT(u < n);
+    dirty_mask_[u] = 1;
+  }
+
+  // In-edge candidates around each moved node's *old* position must be
+  // collected before the grid forgets it. Only the directed policy needs
+  // them: symmetric rows mirror their own diff below. Clean sources only —
+  // a dirty source's whole row is recomputed anyway.
+  moved_.clear();
+  pairs_.clear();
+  for (NodeId u : dirty) {
+    const Vec2 old_pos = grid_.position(u);
+    if (old_pos == positions[u]) continue;
+    moved_.push_back(u);
+    if (policy_ == LinkPolicy::kDirected) {
+      grid_.for_each_within(old_pos, max_range_, [&](std::size_t v) {
+        if (v != u && !dirty_mask_[v])
+          pairs_.push_back({static_cast<NodeId>(v), u});
+      });
+    }
+  }
+  // Bring the grid to the new snapshot, then gather against it.
+  for (NodeId u : moved_) grid_.move(u, positions[u]);
+
+  // (a) Out-rows of dirty nodes, exactly as a full build computes them.
+  for (NodeId u : dirty) {
+    gather_row(u, positions, ranges);
+    const auto old_row = graph.out_neighbors(u);
+    if (!std::equal(old_row.begin(), old_row.end(), scratch_.begin(),
+                    scratch_.end())) {
+      changed = true;
+      if (policy_ != LinkPolicy::kDirected) {
+        // Symmetric policies: out(u) == in(u), so the row diff tells every
+        // *clean* neighbour whether its edge toward u appeared or vanished
+        // (dirty neighbours recompute their own rows). Two-pointer walk
+        // over the sorted old/new rows.
+        std::size_t a = 0, b = 0;
+        while (a < old_row.size() || b < scratch_.size()) {
+          if (b == scratch_.size() ||
+              (a < old_row.size() && old_row[a] < scratch_[b])) {
+            if (!dirty_mask_[old_row[a]]) graph.remove_edge(old_row[a], u);
+            ++a;
+          } else if (a == old_row.size() || scratch_[b] < old_row[a]) {
+            if (!dirty_mask_[scratch_[b]]) graph.add_edge(scratch_[b], u);
+            ++b;
+          } else {
+            ++a;
+            ++b;
+          }
+        }
+      }
+    }
+    graph.assign_out_edges(u, scratch_);
+  }
+
+  // (b) Directed in-edges toward moved nodes: candidates from the new
+  // neighbourhood join the old-position ones collected above. Applying an
+  // edge toward its already-correct state is a no-op, so duplicate
+  // candidates (and pairs visited from both positions) are harmless.
+  if (policy_ == LinkPolicy::kDirected) {
+    for (NodeId u : moved_) {
+      grid_.for_each_within(positions[u], max_range_, [&](std::size_t v) {
+        if (v != u && !dirty_mask_[v])
+          pairs_.push_back({static_cast<NodeId>(v), u});
+      });
+    }
+    for (const auto& [v, u] : pairs_) {
+      const bool want = distance2(positions[v], positions[u]) <=
+                        ranges[v] * ranges[v];
+      if (want)
+        changed |= graph.add_edge(v, u);
+      else
+        changed |= graph.remove_edge(v, u);
+    }
+  }
+  return changed;
 }
 
 }  // namespace agentnet

@@ -1,6 +1,7 @@
 // Builds the live link graph from node positions and effective radio ranges.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "geom/spatial_grid.hpp"
@@ -20,6 +21,12 @@ enum class LinkPolicy {
 /// Rebuilds graphs from (positions, effective ranges). Stateless apart from
 /// a reusable spatial grid (sized for the largest range it will see) and
 /// per-node scratch, so build_into() on a warm builder allocates nothing.
+///
+/// The grid doubles as the builder's memory of the last snapshot it built:
+/// update_into() patches a previously built graph by recomputing only the
+/// rows touched by a dirty set, relocating the dirty points inside the grid
+/// instead of rebuilding it. Outputs are bit-identical to a full rebuild
+/// (docs/PERFORMANCE.md, "Incremental topology maintenance").
 class TopologyBuilder {
  public:
   /// `max_range` bounds every effective range passed to build(); used only
@@ -41,11 +48,37 @@ class TopologyBuilder {
   void build_into(Graph& graph, const std::vector<Vec2>& positions,
                   const std::vector<double>& ranges);
 
+  /// Incrementally patches `graph` — which must hold this builder's last
+  /// build for the grid's current snapshot — to the new (positions, ranges)
+  /// snapshot, given the sorted set of nodes whose position or range
+  /// changed (`dirty`). Every clean node's inputs must be unchanged.
+  ///
+  /// Recomputes (a) the out-rows of dirty nodes and (b) in-edges toward
+  /// dirty nodes: symmetric policies mirror the out-row diff into clean
+  /// neighbours' rows; the directed policy fixes in-edges from candidates
+  /// found by reverse grid queries over the max-range neighbourhoods of
+  /// each moved node's old and new position. The result is bit-identical
+  /// (operator==, neighbour iteration order included) to a full rebuild.
+  ///
+  /// Returns true when the edge set actually changed.
+  bool update_into(Graph& graph, std::span<const NodeId> dirty,
+                   const std::vector<Vec2>& positions,
+                   const std::vector<double>& ranges);
+
  private:
+  /// Fills scratch_ (sorted) with u's accepted out-neighbours at the
+  /// grid's current snapshot.
+  void gather_row(NodeId u, const std::vector<Vec2>& positions,
+                  const std::vector<double>& ranges);
+
   SpatialGrid grid_;
   LinkPolicy policy_;
   double max_range_;
   std::vector<NodeId> scratch_;  ///< One node's accepted neighbours.
+  // update_into() scratch, reused across steps.
+  std::vector<char> dirty_mask_;
+  std::vector<NodeId> moved_;
+  std::vector<std::pair<NodeId, NodeId>> pairs_;  ///< (source, dirty target).
 };
 
 }  // namespace agentnet

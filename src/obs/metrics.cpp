@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <ostream>
+
 namespace agentnet::obs {
 
 const char* counter_name(Counter counter) {
@@ -46,6 +48,12 @@ const char* counter_name(Counter counter) {
       return "lsa_dropped";
     case Counter::kDvRelaxations:
       return "dv_relaxations";
+    case Counter::kTopoNodesDirty:
+      return "topo_nodes_dirty";
+    case Counter::kTopoFullRebuilds:
+      return "topo_full_rebuilds";
+    case Counter::kDerivedCacheHits:
+      return "derived_cache_hits";
     case Counter::kCount:
       break;
   }
@@ -57,6 +65,15 @@ MetricsSnapshot snapshot(const CounterSlot& slot) {
   for (std::size_t i = 0; i < kCounterCount; ++i)
     out.values[i] = slot.value(static_cast<Counter>(i));
   return out;
+}
+
+void write_counter_footer(std::ostream& os, const CounterSlot& slot) {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const auto counter = static_cast<Counter>(i);
+    const std::uint64_t value = slot.value(counter);
+    if (value != 0)
+      os << "# " << counter_name(counter) << '=' << value << '\n';
+  }
 }
 
 }  // namespace agentnet::obs

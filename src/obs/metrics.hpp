@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 
 #include "obs/obs_level.hpp"
 
@@ -39,6 +40,9 @@ enum class Counter : std::size_t {
   kLsaMessages,          ///< LSA transmissions (flooding baseline).
   kLsaDropped,           ///< LSAs lost in transit (failure injection).
   kDvRelaxations,        ///< Accepted Bellman-Ford relaxations (DV agents).
+  kTopoNodesDirty,       ///< Nodes patched by an incremental topology update.
+  kTopoFullRebuilds,     ///< Full (non-incremental) topology rebuilds.
+  kDerivedCacheHits,     ///< Epoch-keyed derived-state cache hits.
   kCount
 };
 
@@ -82,5 +86,10 @@ struct MetricsSnapshot {
 };
 
 MetricsSnapshot snapshot(const CounterSlot& slot);
+
+/// Writes one `# name=value` comment line per nonzero counter — appended to
+/// CSV exports so cache/telemetry totals (topo_nodes_dirty,
+/// derived_cache_hits, ...) ride along with the data they explain.
+void write_counter_footer(std::ostream& os, const CounterSlot& slot);
 
 }  // namespace agentnet::obs

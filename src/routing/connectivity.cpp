@@ -3,6 +3,7 @@
 #include <queue>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace agentnet {
 
@@ -155,6 +156,34 @@ ConnectivityResult oracle_connectivity(const Graph& graph,
   Graph rev;
   graph.transposed_into(rev);
   return oracle_connectivity_impl(graph, is_gateway, rev);
+}
+
+ConnectivityResult ConnectivityCache::measure(
+    const World& world, const RoutingTables& tables,
+    const std::vector<bool>& is_gateway, std::size_t max_hops) {
+  if (epoch_ != kNoCacheEpoch && epoch_ == world.epoch() &&
+      max_hops_ == max_hops && entries_ == tables.entries()) {
+    AGENTNET_COUNT(kDerivedCacheHits);
+    return result_;
+  }
+  result_ = measure_connectivity(world.csr(), tables, is_gateway, max_hops);
+  epoch_ = world.epoch();
+  max_hops_ = max_hops;
+  entries_ = tables.entries();  // assign reuses capacity across steps
+  return result_;
+}
+
+ConnectivityResult OracleConnectivityCache::measure(
+    std::uint64_t epoch, const Graph& graph,
+    const std::vector<bool>& is_gateway) {
+  if (epoch != kNoCacheEpoch && epoch == epoch_) {
+    AGENTNET_COUNT(kDerivedCacheHits);
+    return result_;
+  }
+  graph.transposed_into(reversed_);
+  result_ = oracle_connectivity_impl(graph, is_gateway, reversed_);
+  epoch_ = epoch;
+  return result_;
 }
 
 }  // namespace agentnet

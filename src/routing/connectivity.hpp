@@ -5,10 +5,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "net/graph.hpp"
 #include "routing/routing_table.hpp"
+#include "sim/world.hpp"
 
 namespace agentnet {
 
@@ -50,5 +52,46 @@ std::vector<bool> valid_route_flags(const CsrView& graph,
 /// live path to a gateway in `graph` (multi-source BFS on reversed edges).
 ConnectivityResult oracle_connectivity(const Graph& graph,
                                        const std::vector<bool>& is_gateway);
+
+/// Epoch sentinel forcing a cache miss (used when the measured graph is not
+/// the world's own — e.g. a fault-masked view — so World::epoch() does not
+/// version it).
+inline constexpr std::uint64_t kNoCacheEpoch =
+    static_cast<std::uint64_t>(-1);
+
+/// Memoises measure_connectivity across steps. The walk result is a pure
+/// function of (graph, tables, gateway mask, max_hops); the gateway mask is
+/// fixed per run, so the cache keys on World::epoch() (bumped exactly when
+/// the edge set changes) plus a copy of the table contents. A hit re-emits
+/// the stored result — bit-identical, since the inputs are — and counts
+/// kDerivedCacheHits; a miss walks the world's frozen CSR snapshot exactly
+/// like the uncached path.
+class ConnectivityCache {
+ public:
+  ConnectivityResult measure(const World& world, const RoutingTables& tables,
+                             const std::vector<bool>& is_gateway,
+                             std::size_t max_hops = 0);
+
+ private:
+  std::uint64_t epoch_ = kNoCacheEpoch;
+  std::size_t max_hops_ = 0;
+  std::vector<RouteEntry> entries_;  ///< Table contents at cache time.
+  ConnectivityResult result_{};
+};
+
+/// Memoises oracle_connectivity (the multi-source gateway BFS) on an edge-set
+/// epoch. Pass World::epoch() when `graph` is the world's own live graph;
+/// pass kNoCacheEpoch to force recomputation (fault-masked views). The
+/// gateway mask must be the same per-run mask on every call.
+class OracleConnectivityCache {
+ public:
+  ConnectivityResult measure(std::uint64_t epoch, const Graph& graph,
+                             const std::vector<bool>& is_gateway);
+
+ private:
+  std::uint64_t epoch_ = kNoCacheEpoch;
+  Graph reversed_;  ///< Transpose scratch, recycled across misses.
+  ConnectivityResult result_{};
+};
 
 }  // namespace agentnet

@@ -22,6 +22,7 @@ struct RouteEntry {
   std::size_t installed_at = 0;    ///< Simulation step of installation.
 
   bool valid() const { return next_hop != kInvalidNode; }
+  friend bool operator==(const RouteEntry&, const RouteEntry&) = default;
 };
 
 /// Route-replacement policy knobs.
@@ -38,6 +39,9 @@ class RoutingTables {
 
   std::size_t size() const { return entries_.size(); }
   const RouteEntry& entry(NodeId node) const;
+  /// The full per-node entry array (epoch-keyed caches compare it to
+  /// detect table changes between measurements).
+  const std::vector<RouteEntry>& entries() const { return entries_; }
   const RoutePolicy& policy() const { return policy_; }
 
   /// Offers a candidate route for `node` at time `now`; keeps the better of

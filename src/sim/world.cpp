@@ -1,5 +1,8 @@
 #include "sim/world.hpp"
 
+#include <cmath>
+
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "obs/obs.hpp"
 
@@ -19,7 +22,21 @@ World::World(Aabb bounds, std::vector<Vec2> initial_positions,
   AGENTNET_REQUIRE(positions_.size() == batteries_.size(),
                    "positions / batteries size mismatch");
   AGENTNET_REQUIRE(mobility_ != nullptr, "world needs a mobility model");
-  rebuild_graph();
+  incremental_ = env_bool("AGENTNET_TOPO_INCREMENTAL", true);
+  quantum_ = env_double("AGENTNET_TOPO_RANGE_QUANTUM", 0.0);
+  AGENTNET_REQUIRE(quantum_ >= 0.0, "range quantum must be >= 0");
+  // Only nodes that can move or discharge can ever dirty the topology;
+  // stationary mains-powered nodes (gateways, frozen mapping networks) are
+  // clean forever and cost nothing per advance().
+  for (std::size_t i = 0; i < positions_.size(); ++i)
+    if (!mobility_->is_stationary(i) || batteries_.on_battery(i))
+      maybe_dirty_.push_back(static_cast<NodeId>(i));
+  ranges_.resize(positions_.size());
+  for (std::size_t i = 0; i < ranges_.size(); ++i)
+    ranges_[i] = quantized_range(static_cast<NodeId>(i));
+  built_positions_ = positions_;
+  builder_.build_into(geo_graph_, positions_, ranges_);
+  refresh_effective(true);
 }
 
 World World::frozen(const GeneratedNetwork& net) {
@@ -47,8 +64,8 @@ World World::fixed(Graph graph) {
               std::move(mains), std::make_unique<StationaryMobility>(),
               LinkPolicy::kDirected);
   world.fixed_topology_ = true;
-  world.graph_ = std::move(graph);
-  world.csr_.rebuild_from(world.graph_);
+  world.geo_graph_ = std::move(graph);
+  world.csr_.rebuild_from(world.geo_graph_);
   return world;
 }
 
@@ -56,28 +73,110 @@ void World::advance() {
   AGENTNET_OBS_PHASE(kWorldAdvance);
   mobility_->step(positions_);
   batteries_.step();
-  ++step_;  // the rebuilt graph (incl. link weather) belongs to the new step
-  rebuild_graph();
+  ++step_;  // the refreshed graph (incl. link weather) belongs to the new step
+  refresh_topology();
+}
+
+double World::quantized_range(NodeId node) const {
+  const double r = effective_range(node);
+  if (quantum_ <= 0.0) return r;
+  return std::floor(r / quantum_) * quantum_;
+}
+
+void World::collect_dirty() {
+  dirty_.clear();
+  for (NodeId i : maybe_dirty_) {
+    const double r = quantized_range(i);
+    if (positions_[i] != built_positions_[i] || r != ranges_[i]) {
+      dirty_.push_back(i);
+      ranges_[i] = r;
+    }
+  }
+  if (!dirty_.empty()) ++state_epoch_;
+}
+
+void World::refresh_topology() {
+  if (fixed_topology_) return;  // pinned graph (and its CSR) never change
+  collect_dirty();
+  bool geo_changed = false;
+  if (!dirty_.empty()) {
+    if (incremental_) {
+      AGENTNET_COUNT_N(kTopoNodesDirty, dirty_.size());
+      geo_changed =
+          builder_.update_into(geo_graph_, dirty_, positions_, ranges_);
+      for (NodeId u : dirty_) built_positions_[u] = positions_[u];
+    } else {
+      AGENTNET_COUNT(kTopoFullRebuilds);
+      builder_.build_into(back_graph_, positions_, ranges_);
+      geo_changed = !(back_graph_ == geo_graph_);
+      std::swap(geo_graph_, back_graph_);
+      built_positions_ = positions_;
+    }
+  }
+  refresh_effective(geo_changed);
+}
+
+void World::rebuild_flapped() {
+  back_flapped_.reset(geo_graph_.node_count());
+  std::size_t drops = 0;
+  for (NodeId u = 0; u < geo_graph_.node_count(); ++u) {
+    flap_scratch_.clear();
+    for (NodeId v : geo_graph_.out_neighbors(u)) {
+      if (flapper_->down(u, v, step_))
+        ++drops;
+      else
+        flap_scratch_.push_back(v);
+    }
+    back_flapped_.assign_out_edges(u, flap_scratch_);
+  }
+  AGENTNET_COUNT_N(kLinkFlaps, drops);
+  flap_drops_ = drops;
+}
+
+void World::refresh_effective(bool geo_changed) {
+  bool effective_changed;
+  if (weather_active_) {
+    const std::uint64_t window = step_ / flapper_->persistence();
+    if (geo_changed || !flapped_valid_ || window != flap_window_) {
+      rebuild_flapped();
+      effective_changed = !flapped_valid_ || !(back_flapped_ == flapped_);
+      std::swap(flapped_, back_flapped_);
+      flapped_valid_ = true;
+      flap_window_ = window;
+    } else {
+      // Same geometry, same weather window: the view is unchanged. Charge
+      // the drops it still contains so kLinkFlaps totals stay identical to
+      // the historical apply-every-step path.
+      AGENTNET_COUNT_N(kLinkFlaps, flap_drops_);
+      effective_changed = false;
+    }
+  } else {
+    effective_changed = geo_changed;
+  }
+  if (effective_changed) {
+    csr_.rebuild_from(graph());
+    ++epoch_;
+  } else {
+    AGENTNET_COUNT(kDerivedCacheHits);  // CSR snapshot stayed warm
+  }
 }
 
 void World::set_link_flapper(std::optional<LinkFlapper> flapper) {
   AGENTNET_REQUIRE(!fixed_topology_ || !flapper,
                    "fixed-topology worlds do not support link flappers");
   flapper_ = std::move(flapper);
-  rebuild_graph();
-}
-
-void World::rebuild_graph() {
-  if (fixed_topology_) return;  // pinned graph (and its CSR) never change
-  ranges_.resize(positions_.size());
-  for (std::size_t i = 0; i < ranges_.size(); ++i)
-    ranges_[i] = effective_range(static_cast<NodeId>(i));
-  // Rebuild into the back buffer (recycling its adjacency capacity from two
-  // steps ago) and swap — no per-step Graph allocation once warm.
-  builder_.build_into(back_graph_, positions_, ranges_);
-  if (flapper_) flapper_->apply(back_graph_, step_);
-  std::swap(graph_, back_graph_);
-  csr_.rebuild_from(graph_);
+  weather_active_ = flapper_ && flapper_->drop_probability() > 0.0;
+  flapped_valid_ = false;
+  // Reconfiguration: the effective view may have switched representation,
+  // so refresh it and conservatively open a new epoch.
+  if (weather_active_) {
+    rebuild_flapped();
+    std::swap(flapped_, back_flapped_);
+    flapped_valid_ = true;
+    flap_window_ = step_ / flapper_->persistence();
+  }
+  csr_.rebuild_from(graph());
+  ++epoch_;
 }
 
 }  // namespace agentnet

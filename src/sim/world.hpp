@@ -1,13 +1,22 @@
 // The simulated wireless world: node positions driven by a mobility model,
 // batteries draining, radio ranges scaling with charge, and the live link
-// graph rebuilt from the current snapshot each step.
+// graph maintained from the current snapshot each step.
 //
 // Agents (src/core) observe the World read-only; all agent interaction with
 // the environment goes through node-local state (routing tables, stigmergy
 // boards) owned by the task layer, matching the paper's "the nodes
 // themselves run no programs".
+//
+// Topology maintenance is incremental by default: advance() collects the
+// dirty set (nodes whose position or quantized range changed — stationary,
+// mains-powered nodes are clean forever) and patches only the affected
+// rows; set AGENTNET_TOPO_INCREMENTAL=0 for the full per-step rebuild.
+// Both paths produce bit-identical graphs; epoch() counts the steps where
+// the edge set actually changed, so derived-state consumers can memoise on
+// it (docs/PERFORMANCE.md, "Incremental topology maintenance").
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -41,16 +50,33 @@ class World {
   /// Link flappers are not supported on fixed worlds.
   static World fixed(Graph graph);
 
-  /// Advances one simulation step: mobility, battery drain, link rebuild.
+  /// Advances one simulation step: mobility, battery drain, link upkeep.
+  /// When nothing is dirty (static world, pure clock tick) the topology —
+  /// graph, CSR snapshot, epoch — is left untouched, so downstream caches
+  /// stay warm.
   void advance();
 
   std::size_t node_count() const { return positions_.size(); }
   std::size_t step() const { return step_; }
-  const Graph& graph() const { return graph_; }
-  /// Frozen CSR snapshot of graph(), refreshed on every rebuild. Read-heavy
-  /// per-step consumers (connectivity walks, coverage measurement) iterate
-  /// this; results are bit-identical to iterating graph().
+  /// The live link graph: link weather applied when a flapper is active,
+  /// the pure geometric topology otherwise.
+  const Graph& graph() const {
+    return weather_active_ ? flapped_ : geo_graph_;
+  }
+  /// Frozen CSR snapshot of graph(), refreshed only when the edge set
+  /// changes. Read-heavy per-step consumers (connectivity walks, coverage
+  /// measurement) iterate this; results are bit-identical to iterating
+  /// graph().
   const CsrView& csr() const { return csr_; }
+  /// Monotonic edge-set version of graph(): bumped exactly when an
+  /// advance() (or reconfiguration) changed some edge. Derived-state
+  /// consumers memoise on it — equal epochs guarantee an identical graph.
+  std::uint64_t epoch() const { return epoch_; }
+  /// Monotonic version of the node state feeding the topology (positions /
+  /// effective ranges): bumped when any node moved or changed range, even
+  /// if the edge set survived. Position-dependent consumers (blackout
+  /// coverage) key on this in addition to epoch().
+  std::uint64_t state_epoch() const { return state_epoch_; }
   /// True when the graph is derived from node geometry (positions/ranges).
   /// fixed() worlds pin an abstract graph over synthetic geometry, so
   /// geometric shortcuts (edge ⇒ within radio range) do not hold there.
@@ -66,13 +92,39 @@ class World {
     return radio_.effective_range(node, batteries_.fraction(node));
   }
 
+  /// Selects incremental (dirty-set) vs full per-step topology upkeep.
+  /// Defaults to AGENTNET_TOPO_INCREMENTAL (on when unset). Both modes keep
+  /// every internal structure in sync, so toggling mid-run is safe and
+  /// never changes results — only the amount of work per advance().
+  void set_incremental_topology(bool incremental) {
+    incremental_ = incremental;
+  }
+  bool incremental_topology() const { return incremental_; }
+
   /// Installs (or clears) link weather: down links are removed from the
-  /// graph after every rebuild. Takes effect immediately.
+  /// graph() view (the geometric topology is kept separately so
+  /// incremental upkeep can diff against it). Takes effect immediately.
   void set_link_flapper(std::optional<LinkFlapper> flapper);
   const std::optional<LinkFlapper>& link_flapper() const { return flapper_; }
 
  private:
-  void rebuild_graph();
+  /// Quantized effective range: AGENTNET_TOPO_RANGE_QUANTUM > 0 coarsens
+  /// ranges to multiples of the quantum (fewer range-dirty nodes per step);
+  /// the default 0 is the exact identity. Applied identically in both
+  /// upkeep modes, so they always agree bit for bit.
+  double quantized_range(NodeId node) const;
+  /// Fills dirty_ (ascending) with the maybe-dirty nodes whose position or
+  /// quantized range changed since the last build, refreshing ranges_.
+  void collect_dirty();
+  /// Rebuilds or patches the geometric graph for the current snapshot.
+  void refresh_topology();
+  /// Refreshes the weather view, CSR snapshot and epoch after the
+  /// geometric graph may have changed.
+  void refresh_effective(bool geo_changed);
+  /// Filter-copies geo_graph_ minus down links into back_flapped_,
+  /// counting the drops (kLinkFlaps totals match the historical
+  /// apply-every-step path).
+  void rebuild_flapped();
 
   Aabb bounds_;
   std::vector<Vec2> positions_;
@@ -80,13 +132,29 @@ class World {
   BatteryBank batteries_;
   std::unique_ptr<MobilityModel> mobility_;
   TopologyBuilder builder_;
-  Graph graph_;
-  // Double buffer: each rebuild writes into back_graph_ (recycling its
-  // per-node capacity) and swaps — steady-state advance() allocates nothing.
+  // Pure geometric topology (no weather). Incremental updates patch it in
+  // place; full rebuilds write into back_graph_ (recycling its per-node
+  // capacity) and swap — steady-state advance() allocates nothing.
+  Graph geo_graph_;
   Graph back_graph_;
+  // Weather view double buffer, used only while a flapper is active.
+  Graph flapped_;
+  Graph back_flapped_;
   CsrView csr_;
-  std::vector<double> ranges_;  ///< rebuild_graph() scratch.
+  std::vector<double> ranges_;  ///< Quantized ranges as of the last build.
+  std::vector<Vec2> built_positions_;  ///< Positions as of the last build.
+  std::vector<NodeId> maybe_dirty_;  ///< Nodes that can ever become dirty.
+  std::vector<NodeId> dirty_;        ///< collect_dirty() output (scratch).
+  std::vector<NodeId> flap_scratch_;
   std::optional<LinkFlapper> flapper_;
+  bool weather_active_ = false;
+  bool flapped_valid_ = false;
+  std::uint64_t flap_window_ = 0;
+  std::size_t flap_drops_ = 0;  ///< Drops in the last weather rebuild.
+  bool incremental_ = true;
+  double quantum_ = 0.0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t state_epoch_ = 0;
   bool fixed_topology_ = false;
   std::size_t step_ = 0;
 };

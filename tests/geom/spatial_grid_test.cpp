@@ -96,6 +96,64 @@ TEST(SpatialGridTest, NegativeRadiusFindsNothing) {
   EXPECT_TRUE(grid.query({50.0, 50.0}, -1.0).empty());
 }
 
+TEST(SpatialGridTest, MoveAcrossCellBoundaryMatchesFreshRebuild) {
+  std::vector<Vec2> points{{12.0, 12.0}, {45.0, 45.0}, {47.0, 44.0}};
+  SpatialGrid moved(kArena, 10.0);
+  moved.rebuild(points);
+  // Cross a cell boundary (cell (1,1) -> (8,8)).
+  points[0] = {88.0, 88.0};
+  EXPECT_TRUE(moved.move(0, points[0]));
+  EXPECT_EQ(moved.position(0), points[0]);
+  SpatialGrid fresh(kArena, 10.0);
+  fresh.rebuild(points);
+  for (int trial = 0; trial < 25; ++trial) {
+    Rng rng(static_cast<std::uint64_t>(trial) + 1);
+    const Vec2 q{rng.uniform_real(0.0, 100.0), rng.uniform_real(0.0, 100.0)};
+    const double radius = rng.uniform_real(0.0, 60.0);
+    EXPECT_EQ(moved.query(q, radius), fresh.query(q, radius))
+        << "trial " << trial;
+  }
+}
+
+TEST(SpatialGridTest, MoveWithinCellReturnsFalseButUpdatesPosition) {
+  SpatialGrid grid(kArena, 10.0);
+  grid.rebuild({{12.0, 12.0}});
+  // Same cell (1,1): no bucket surgery, but the stored point must follow —
+  // queries resolve against exact positions, not cells.
+  EXPECT_FALSE(grid.move(0, {17.0, 18.0}));
+  EXPECT_EQ(grid.position(0), (Vec2{17.0, 18.0}));
+  EXPECT_TRUE(grid.query({12.0, 12.0}, 1.0).empty());
+  EXPECT_EQ(grid.query({17.0, 18.0}, 1.0).size(), 1u);
+}
+
+TEST(SpatialGridTest, NoOpMoveIsClean) {
+  SpatialGrid grid(kArena, 10.0);
+  grid.rebuild({{33.0, 66.0}});
+  EXPECT_FALSE(grid.move(0, {33.0, 66.0}));
+  EXPECT_EQ(grid.position(0), (Vec2{33.0, 66.0}));
+  EXPECT_EQ(grid.query({33.0, 66.0}, 0.5).size(), 1u);
+}
+
+TEST(SpatialGridTest, ManyRandomMovesMatchFreshRebuild) {
+  Rng rng(2024);
+  auto points = random_positions(120, kArena, rng);
+  SpatialGrid moved(kArena, 8.0);
+  moved.rebuild(points);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t i = rng.index(points.size());
+    points[i] = {rng.uniform_real(0.0, 100.0), rng.uniform_real(0.0, 100.0)};
+    moved.move(i, points[i]);
+  }
+  SpatialGrid fresh(kArena, 8.0);
+  fresh.rebuild(points);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec2 q{rng.uniform_real(0.0, 100.0), rng.uniform_real(0.0, 100.0)};
+    const double radius = rng.uniform_real(0.0, 25.0);
+    EXPECT_EQ(moved.query(q, radius), fresh.query(q, radius))
+        << "trial " << trial;
+  }
+}
+
 TEST(SpatialGridTest, ForEachVisitsEveryMatchOnce) {
   SpatialGrid grid(kArena, 10.0);
   grid.rebuild({{50.0, 50.0}, {51.0, 50.0}, {52.0, 50.0}});

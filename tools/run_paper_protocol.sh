@@ -57,14 +57,29 @@ if [ "${1:-}" = "--smoke" ]; then
   echo "##### hot-path equivalence suite (TSan)"
   cmake --build build-tsan --target rebuild_equivalence_test -j"$(nproc)"
   build-tsan/tests/rebuild_equivalence_test
-  echo "##### microbench gate (report-only; docs/PERFORMANCE.md)"
+  echo "##### incremental topology bit-for-bit diff (TSan)"
+  # One traced routing run per topology-upkeep mode: stdout tables and the
+  # JSONL event stream must be byte-identical. (CSV counter footers are not
+  # diffed — topo_nodes_dirty vs topo_full_rebuilds differ by design.)
+  AGENTNET_THREADS=7 AGENTNET_TOPO_INCREMENTAL=0 \
+    AGENTNET_TRACE="$tmp/route_full.jsonl" \
+    build-tsan/examples/agentnet_cli scenario=routing nodes=50 gateways=4 \
+    population=10 runs=2 > "$tmp/route_full.out"
+  AGENTNET_THREADS=7 AGENTNET_TOPO_INCREMENTAL=1 \
+    AGENTNET_TRACE="$tmp/route_incr.jsonl" \
+    build-tsan/examples/agentnet_cli scenario=routing nodes=50 gateways=4 \
+    population=10 runs=2 > "$tmp/route_incr.out"
+  diff "$tmp/route_full.out" "$tmp/route_incr.out"
+  diff "$tmp/route_full.jsonl" "$tmp/route_incr.jsonl"
+  echo "incremental and full topology runs are bit-identical"
+  echo "##### bench gates (report-only; docs/PERFORMANCE.md)"
   # Report-only: CI containers are 1-core and noisy, so the smoke leg
   # records the numbers without enforcing; run tools/bench_gate directly
-  # (no flag) to enforce the threshold on quiet hardware.
+  # (no flag) to enforce the thresholds on quiet hardware.
   if [ -x build/bench/perf_micro ]; then
     tools/bench_gate --no-fail
   else
-    echo "perf_micro not built (Release tree) — skipping bench gate" >&2
+    echo "perf binaries not built (Release tree) — skipping bench gates" >&2
   fi
   echo "TSan + trace + chaos + perf smoke passed" >&2
   exit 0
