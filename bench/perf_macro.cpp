@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "aco/ant_routing.hpp"
 #include "common/rng.hpp"
 #include "energy/battery.hpp"
 #include "geom/vec2.hpp"
@@ -22,6 +23,7 @@
 #include "net/generators.hpp"
 #include "radio/range_model.hpp"
 #include "sim/world.hpp"
+#include "traffic/flow_traffic.hpp"
 
 namespace agentnet {
 namespace {
@@ -120,6 +122,49 @@ void BM_ScaleAdvanceIncremental(benchmark::State& state) {
   advance_loop(state, make_macro_world(scale_params(), true));
 }
 BENCHMARK(BM_ScaleAdvanceIncremental);
+
+// --- Traffic regime (informational, no Full/Incremental pair): the whole
+// --- loaded-network loop — delay-mode ants, flow generation, batch
+// --- forwarding with queueing — on the paper-sized world. The counted-
+// --- arrival design is what keeps the loaded case within a small factor
+// --- of idle: load scales packet *counts*, not queue-entry counts.
+void traffic_advance_loop(benchmark::State& state, double offered_load) {
+  MacroParams p;
+  World world = make_macro_world(p, true);
+  std::vector<bool> is_gateway(p.node_count, false);
+  for (std::size_t g = 0; g < 12; ++g)
+    is_gateway[g * p.node_count / 12] = true;
+  AntRoutingConfig ant_config;
+  ant_config.reinforcement = AntReinforcement::kDelay;
+  Rng rng(p.seed);
+  AntRoutingSystem ants(p.node_count, is_gateway, ant_config,
+                        rng.fork(0xA27));
+  FlowWorkloadConfig workload;
+  workload.offered_load = offered_load;
+  FlowTrafficSimulator traffic(p.node_count, is_gateway, workload,
+                               LinkQueueConfig{}, rng.fork(0xF10A));
+  std::size_t t = 0;
+  for (int i = 0; i < 16; ++i) world.advance();  // warm every buffer
+  for (auto _ : state) {
+    ants.step(world.graph(), t, traffic.hop_delays(), {});
+    const RoutingTables tables = ants.snapshot_tables(t);
+    traffic.step(world.graph(), tables, t);
+    world.advance();
+    benchmark::DoNotOptimize(traffic.queued());
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TrafficAdvanceIdle(benchmark::State& state) {
+  traffic_advance_loop(state, 0.0);
+}
+BENCHMARK(BM_TrafficAdvanceIdle);
+
+void BM_TrafficAdvanceLoaded(benchmark::State& state) {
+  traffic_advance_loop(state, 0.5);
+}
+BENCHMARK(BM_TrafficAdvanceLoaded);
 
 }  // namespace
 }  // namespace agentnet

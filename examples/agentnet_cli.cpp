@@ -8,6 +8,10 @@
 //   ./agentnet_cli scenario=routing policy=oldest visiting=true ...
 //                  population=100 history=10 traffic=true runs=5
 //
+//   # flow traffic over delay-reinforced ant routes (docs/TRAFFIC.md;
+//   # AGENTNET_TRAFFIC_* env knobs supply workload/queue defaults)
+//   ./agentnet_cli scenario=traffic mode=delay load=0.4 balance=true runs=5
+//
 //   # artefact export
 //   ./agentnet_cli scenario=mapping export_net=net.txt export_dot=net.dot ...
 //                  csv=knowledge.csv
@@ -222,6 +226,62 @@ int run_aco(Options& opts) {
   return 0;
 }
 
+int run_traffic(Options& opts) {
+  RoutingScenarioParams scenario_params;
+  scenario_params.node_count =
+      static_cast<std::size_t>(opts.get_int("nodes", 250));
+  scenario_params.gateway_count =
+      static_cast<std::size_t>(opts.get_int("gateways", 12));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 2010));
+
+  TrafficTaskConfig task;
+  task.workload = FlowWorkloadConfig::from_env();
+  task.workload.offered_load =
+      opts.get_double("load", task.workload.offered_load);
+  task.queue = LinkQueueConfig::from_env();
+  const std::string mode = opts.get_string("mode", "delay");
+  if (mode == "hop") {
+    task.ants.reinforcement = AntReinforcement::kHopCount;
+  } else if (mode == "delay") {
+    task.ants.reinforcement = AntReinforcement::kDelay;
+  } else {
+    throw ConfigError("mode must be hop|delay, got " + mode);
+  }
+  task.balance_gateways = opts.get_bool("balance", false);
+  if (task.balance_gateways)
+    task.balancer = GatewayBalancerConfig::from_env();
+  const int runs = static_cast<int>(opts.get_int("runs", 5));
+  opts.finish();
+
+  const RoutingScenario scenario(scenario_params, seed);
+  obs::RunObs run_obs;
+  const TrafficSummary summary = [&] {
+    obs::ObsRunScope scope(run_obs);
+    return run_traffic_experiment(scenario, task, runs, paper::kRunSeedBase);
+  }();
+  const FlowTrafficStats& ts = summary.traffic;
+  std::printf(
+      "ant routing (%s%s): offered %.3f, carried %.3f pkts/node/step, "
+      "delivery %.3f over %d runs\n",
+      mode.c_str(), task.balance_gateways ? "+balance" : "",
+      summary.offered_load.mean(), summary.carried_load.mean(),
+      ts.delivery_ratio(), runs);
+  std::printf(
+      "latency p50/p95/p99: %llu/%llu/%llu steps; drops: no-route %llu, "
+      "link-down %llu, ttl %llu, queue-full %llu; flows %llu started, "
+      "%llu completed\n",
+      static_cast<unsigned long long>(ts.latency_quantile(0.5)),
+      static_cast<unsigned long long>(ts.latency_quantile(0.95)),
+      static_cast<unsigned long long>(ts.latency_quantile(0.99)),
+      static_cast<unsigned long long>(ts.dropped_no_route),
+      static_cast<unsigned long long>(ts.dropped_link_down),
+      static_cast<unsigned long long>(ts.dropped_ttl),
+      static_cast<unsigned long long>(ts.dropped_queue_full),
+      static_cast<unsigned long long>(ts.flows_started),
+      static_cast<unsigned long long>(ts.flows_completed));
+  return 0;
+}
+
 int run_dv(Options& opts) {
   RoutingScenarioParams scenario_params;
   scenario_params.node_count =
@@ -262,9 +322,10 @@ int main(int argc, char** argv) {
     if (scenario == "mapping") return run_mapping(opts);
     if (scenario == "routing") return run_routing(opts);
     if (scenario == "aco") return run_aco(opts);
+    if (scenario == "traffic") return run_traffic(opts);
     if (scenario == "dv") return run_dv(opts);
-    throw ConfigError("scenario must be mapping|routing|aco|dv, got " +
-                      scenario);
+    throw ConfigError("scenario must be mapping|routing|aco|traffic|dv, "
+                      "got " + scenario);
   } catch (const Error& e) {
     std::cerr << "agentnet_cli: " << e.what() << "\n"
               << "see the header of examples/agentnet_cli.cpp for usage\n";

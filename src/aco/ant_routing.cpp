@@ -45,7 +45,8 @@ void AntRoutingSystem::account_hop(const Ant& ant) {
   control_bytes_ += 16 + 8 * ant.path.size();
 }
 
-void AntRoutingSystem::advance_forward(Ant& ant, const Graph& graph) {
+void AntRoutingSystem::advance_forward(Ant& ant, const Graph& graph,
+                                       std::span<const double> hop_delays) {
   const NodeId at = ant.path.back();
   if (ant.path.size() > config_.ant_ttl) {
     ant.path.clear();  // ttl exhausted: die
@@ -78,6 +79,10 @@ void AntRoutingSystem::advance_forward(Ant& ant, const Graph& graph) {
     }
   }
   ant.path.push_back(candidates[chosen]);
+  // The ant experiences the queueing delay of the link it just crossed
+  // (node `at`'s out-queue). An empty span is an idle data plane: every
+  // hop costs exactly 1.0, so trip_time == hop count bit-for-bit.
+  ant.trip_time += hop_delays.empty() ? 1.0 : hop_delays[at];
   account_hop(ant);
   if (is_gateway_[candidates[chosen]]) {
     // Turn around: the backward ant starts at the gateway end.
@@ -86,7 +91,8 @@ void AntRoutingSystem::advance_forward(Ant& ant, const Graph& graph) {
   }
 }
 
-void AntRoutingSystem::advance_backward(Ant& ant, const Graph& graph) {
+void AntRoutingSystem::advance_backward(Ant& ant, const Graph& graph,
+                                        std::span<const double> gateway_bias) {
   // The ant sits at path[position] and wants to hop to path[position-1],
   // reinforcing that node's entry toward where the ant came from.
   AGENTNET_ASSERT(ant.position > 0);
@@ -100,9 +106,17 @@ void AntRoutingSystem::advance_backward(Ant& ant, const Graph& graph) {
   account_hop(ant);
   // Reinforce to → (node the backward ant just came from): that is the
   // forward direction toward the gateway. Deposit scales inversely with
-  // the full path length (shorter sampled paths are better paths).
-  const double amount =
-      config_.deposit / static_cast<double>(ant.path.size() - 1);
+  // path quality — hop count historically, measured trip time in kDelay
+  // mode (AntNet's goodness). On an idle plane trip_time equals the hop
+  // count exactly, so the two modes coincide bit-for-bit at zero load.
+  double amount =
+      config_.reinforcement == AntReinforcement::kDelay
+          ? config_.deposit / ant.trip_time
+          : config_.deposit / static_cast<double>(ant.path.size() - 1);
+  // Deposits through a loaded gateway are damped by the balancer's bias
+  // (exactly 1.0 when balancing is off or the load is uniform; multiplying
+  // by 1.0 is an IEEE identity, preserving bit-identical goldens).
+  if (!gateway_bias.empty()) amount *= gateway_bias[ant.path.back()];
   pheromone_[to][from] += amount;
   if (ant.position == 0) {
     ++ants_completed_;
@@ -111,9 +125,21 @@ void AntRoutingSystem::advance_backward(Ant& ant, const Graph& graph) {
 }
 
 void AntRoutingSystem::step(const Graph& graph, std::size_t now) {
+  step(graph, now, {}, {});
+}
+
+void AntRoutingSystem::step(const Graph& graph, std::size_t now,
+                            std::span<const double> hop_delays,
+                            std::span<const double> gateway_bias) {
   (void)now;
   AGENTNET_REQUIRE(graph.node_count() == pheromone_.size(),
                    "graph size does not match ant system");
+  AGENTNET_REQUIRE(hop_delays.empty() ||
+                       hop_delays.size() == pheromone_.size(),
+                   "hop delay span size mismatch");
+  AGENTNET_REQUIRE(gateway_bias.empty() ||
+                       gateway_bias.size() == pheromone_.size(),
+                   "gateway bias span size mismatch");
 
   // Evaporation, with pruning of negligible residue.
   const double keep = 1.0 - config_.evaporation;
@@ -150,9 +176,9 @@ void AntRoutingSystem::step(const Graph& graph, std::size_t now) {
       continue;
     }
     if (ant.backward)
-      advance_backward(ant, graph);
+      advance_backward(ant, graph, gateway_bias);
     else
-      advance_forward(ant, graph);
+      advance_forward(ant, graph, hop_delays);
   }
   std::erase_if(ants_, [](const Ant& ant) { return ant.path.empty(); });
 }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/flat_map.hpp"
@@ -24,6 +25,18 @@
 #include "routing/routing_table.hpp"
 
 namespace agentnet {
+
+/// What a backward ant's deposit is scaled by (AntNet's goodness measure).
+enum class AntReinforcement {
+  /// deposit / hop_count — the historical mode; the default, and
+  /// bit-identical to the pre-delay-plane behaviour.
+  kHopCount,
+  /// deposit / measured trip time, where the forward ant accumulates the
+  /// data plane's per-hop queueing delays (see docs/TRAFFIC.md). With no
+  /// delay feed (or an idle network) every hop costs exactly 1.0, so this
+  /// mode degenerates to kHopCount bit-for-bit.
+  kDelay,
+};
 
 struct AntRoutingConfig {
   /// Per non-gateway node per step: probability of launching a forward ant.
@@ -44,6 +57,8 @@ struct AntRoutingConfig {
   /// probability (the control packet vanishes mid-hop). 0 draws nothing,
   /// keeping fault-free runs on their historical RNG sequence.
   double ant_loss_probability = 0.0;
+  /// Deposit scaling: hop count (default, historical) or measured delay.
+  AntReinforcement reinforcement = AntReinforcement::kHopCount;
 };
 
 class AntRoutingSystem {
@@ -54,6 +69,18 @@ class AntRoutingSystem {
   /// One simulation step: evaporate, launch forward ants, advance every
   /// ant one hop (forward ants sample, backward ants retrace + deposit).
   void step(const Graph& graph, std::size_t now);
+
+  /// As above, with the data plane's control inputs. `hop_delays[v]` is the
+  /// current per-hop delay at node v (FlowTrafficSimulator::hop_delays());
+  /// forward ants accumulate it into their trip time, which kDelay mode
+  /// reinforces by. `gateway_bias[g]` multiplies deposits from backward
+  /// ants that turned around at gateway g (GatewayBalancer::bias()), so
+  /// overloaded gateways attract less traffic. Either span may be empty:
+  /// empty = unit delays / unit bias, which leaves every deposit bit-
+  /// identical to the plain step().
+  void step(const Graph& graph, std::size_t now,
+            std::span<const double> hop_delays,
+            std::span<const double> gateway_bias);
 
   /// Current pheromone on the directed pair (from → to); 0 if none.
   double pheromone(NodeId from, NodeId to) const;
@@ -78,10 +105,13 @@ class AntRoutingSystem {
     std::vector<NodeId> path;  ///< Nodes visited, path.front() = source.
     std::size_t position = 0;  ///< Index into path (backward phase).
     bool backward = false;
+    double trip_time = 0.0;  ///< Sum of per-hop delays on the forward leg.
   };
 
-  void advance_forward(Ant& ant, const Graph& graph);
-  void advance_backward(Ant& ant, const Graph& graph);
+  void advance_forward(Ant& ant, const Graph& graph,
+                       std::span<const double> hop_delays);
+  void advance_backward(Ant& ant, const Graph& graph,
+                        std::span<const double> gateway_bias);
   void account_hop(const Ant& ant);
 
   AntRoutingConfig config_;

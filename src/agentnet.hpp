@@ -12,8 +12,9 @@
 //   net/      directed graph, topology builder, generators, metrics
 //   sim/      the simulated World
 //   fault/    deterministic fault injection + resilience (watchdog)
-//   routing/  routing tables, connectivity metrics
-//   traffic/  packet-level delivery over agent-maintained routes
+//   routing/  routing tables, connectivity metrics, gateway balancing
+//   traffic/  packet-level delivery over agent-maintained routes, plus the
+//             flow-based heavy-traffic data plane (docs/TRAFFIC.md)
 //   core/     the paper's agents and tasks (mapping + dynamic routing)
 //   aco/      ant-colony routing baseline (AntHocNet-style, ref [9])
 //   adv/      distance-vector-carrying agent baseline (refs [10][11])
@@ -47,6 +48,7 @@
 #include "experiments/mapping_experiments.hpp"
 #include "experiments/paper.hpp"
 #include "experiments/routing_experiments.hpp"
+#include "experiments/traffic_experiments.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/watchdog.hpp"
@@ -63,7 +65,9 @@
 #include "net/topology.hpp"
 #include "radio/range_model.hpp"
 #include "routing/connectivity.hpp"
+#include "routing/gateway_balancer.hpp"
 #include "routing/route_metrics.hpp"
 #include "routing/routing_table.hpp"
 #include "sim/world.hpp"
+#include "traffic/flow_traffic.hpp"
 #include "traffic/traffic.hpp"

@@ -55,6 +55,25 @@ double Rng::exponential(double rate) {
   return -std::log(u) / rate;
 }
 
+std::uint64_t Rng::poisson(double mean) {
+  AGENTNET_ASSERT(mean >= 0.0);
+  // Sum of independent Poisson draws is Poisson with the summed mean, so
+  // chunking keeps exp(-mean) away from underflow at large means while
+  // staying exactly the target distribution.
+  std::uint64_t total = 0;
+  while (mean > 0.0) {
+    const double chunk = mean > 16.0 ? 16.0 : mean;
+    mean -= chunk;
+    const double limit = std::exp(-chunk);
+    double product = uniform01();
+    while (product > limit) {
+      ++total;
+      product *= uniform01();
+    }
+  }
+  return total;
+}
+
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
   AGENTNET_ASSERT(k <= n);
   // Floyd's algorithm would avoid the O(n) fill, but n is small everywhere

@@ -98,6 +98,11 @@ class Rng {
   /// Exponential with the given rate (lambda > 0).
   double exponential(double rate);
 
+  /// Poisson-distributed count with the given mean (>= 0). Used for
+  /// session arrivals in the traffic workload generator; deterministic
+  /// (Knuth's product method, chunked so large means stay exact).
+  std::uint64_t poisson(double mean);
+
   /// Uniformly chosen index into a non-empty container of size n.
   std::size_t index(std::size_t n) {
     AGENTNET_ASSERT(n > 0);

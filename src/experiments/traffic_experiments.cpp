@@ -1,0 +1,153 @@
+#include "experiments/traffic_experiments.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel_for.hpp"
+#include "fault/fault_injector.hpp"
+#include "routing/connectivity.hpp"
+
+namespace agentnet {
+
+TrafficTaskResult run_traffic_task(const RoutingScenario& scenario,
+                                   const TrafficTaskConfig& config, Rng rng) {
+  AGENTNET_REQUIRE(config.measure_from < config.steps,
+                   "measure_from must precede steps");
+  const FaultPlan& plan = config.faults;
+  plan.validate();
+  obs::ScopedPhase setup_phase(obs::Phase::kSetup);
+  World world = scenario.make_world();
+  std::optional<FaultInjector> injector;
+  if (plan.any()) {
+    Rng fault_stream = rng.fork(0xFA11);
+    injector.emplace(plan, fault_stream);
+  }
+  AntRoutingConfig ant_config = config.ants;
+  if (plan.agent_loss_probability > 0.0 &&
+      ant_config.ant_loss_probability == 0.0)
+    ant_config.ant_loss_probability = plan.agent_loss_probability;
+  // The data plane gets its own stream so adding traffic never perturbs
+  // the ants' draw sequence (the zero-load golden-equivalence anchor).
+  Rng traffic_stream = rng.fork(0xF10A);
+  AntRoutingSystem ants(world.node_count(), scenario.is_gateway(), ant_config,
+                        rng);
+  FlowTrafficSimulator traffic(world.node_count(), scenario.is_gateway(),
+                               config.workload, config.queue, traffic_stream);
+  GatewayBalancer balancer(world.node_count(), scenario.is_gateway(),
+                           config.balancer);
+  ConnectivityCache conn_cache;
+  RunningStats window;
+  setup_phase.stop();
+  for (std::size_t t = 0; t < config.steps; ++t) {
+    if (t == config.measure_from) traffic.reset_stats();
+    const Graph& live =
+        injector ? injector->live_graph(world, world.step()) : world.graph();
+    {
+      AGENTNET_OBS_PHASE(kStep);
+      // Control plane first: ants sample over the queues the data plane
+      // left behind last step, so trip times reflect live congestion.
+      ants.step(live, t, traffic.hop_delays(),
+                config.balance_gateways
+                    ? std::span<const double>(balancer.bias())
+                    : std::span<const double>{});
+    }
+    const RoutingTables tables = ants.snapshot_tables(t);
+    {
+      AGENTNET_OBS_PHASE(kStep);
+      traffic.step(live, tables, t);
+      if (config.balance_gateways)
+        balancer.observe(traffic.gateway_deliveries());
+    }
+    {
+      AGENTNET_OBS_PHASE(kMeasure);
+      if (t >= config.measure_from) {
+        if (injector && plan.topology_faults()) {
+          window.add(measure_connectivity(live, tables, scenario.is_gateway())
+                         .fraction());
+        } else {
+          window.add(
+              conn_cache.measure(world, tables, scenario.is_gateway())
+                  .fraction());
+        }
+      }
+    }
+    world.advance();
+  }
+  AGENTNET_OBS_PHASE(kSummarize);
+  traffic.finish();
+  TrafficTaskResult result;
+  result.traffic = traffic.stats();
+  result.mean_connectivity = window.mean();
+  const auto window_steps =
+      static_cast<double>(config.steps - config.measure_from);
+  double sources = 0.0;
+  for (const bool gw : scenario.is_gateway())
+    if (!gw) sources += 1.0;
+  const double denom = window_steps * sources;
+  if (denom > 0.0) {
+    result.offered_load =
+        static_cast<double>(result.traffic.generated) / denom;
+    result.carried_load =
+        static_cast<double>(result.traffic.delivered) / denom;
+  }
+  result.ants_launched = ants.ants_launched();
+  result.ants_completed = ants.ants_completed();
+  result.ant_hops = ants.ant_hops();
+  return result;
+}
+
+TrafficSummary run_traffic_experiment(const RoutingScenario& scenario,
+                                      const TrafficTaskConfig& task,
+                                      int runs, std::uint64_t run_seed_base,
+                                      int threads, const ObsConfig& obs,
+                                      const FaultConfig& faults) {
+  AGENTNET_REQUIRE(runs >= 1, "need at least one run");
+  AGENTNET_REQUIRE(threads >= 0, "threads must be >= 0");
+
+  TrafficTaskConfig effective = task;
+  if (!(faults == FaultPlan{})) effective.faults = faults;
+
+  std::vector<obs::RunObs> slots(static_cast<std::size_t>(runs));
+  if (obs.trace_path)
+    for (auto& slot : slots) slot.trace.enable();
+
+  std::vector<TrafficTaskResult> results(static_cast<std::size_t>(runs));
+  parallel_for(
+      results.size(),
+      [&](std::size_t r) {
+        obs::ObsRunScope scope(slots[r]);
+        results[r] = run_traffic_task(
+            scenario, effective,
+            Rng(run_seed_base + static_cast<std::uint64_t>(r)));
+      },
+      static_cast<std::size_t>(threads));
+
+  obs::RunObs& dest = obs.sink ? *obs.sink : obs::current_obs();
+  {
+    obs::ObsRunScope merge_scope(dest);
+    AGENTNET_OBS_PHASE(kMerge);
+    for (const auto& slot : slots) obs::merge_into(dest, slot);
+    if (obs.trace_path) {
+      std::vector<const obs::TraceBuffer*> buffers;
+      buffers.reserve(slots.size());
+      for (const auto& slot : slots) buffers.push_back(&slot.trace);
+      obs::write_trace(*obs.trace_path, obs.trace_format, buffers);
+    }
+  }
+
+  // Run-index-order combination: integer stats merge exactly, so the
+  // percentile read off the merged histogram is thread-count invariant.
+  TrafficSummary summary;
+  summary.runs = runs;
+  for (const auto& result : results) {
+    summary.traffic += result.traffic;
+    summary.mean_connectivity.add(result.mean_connectivity);
+    summary.delivery_ratio.add(result.traffic.delivery_ratio());
+    summary.offered_load.add(result.offered_load);
+    summary.carried_load.add(result.carried_load);
+  }
+  return summary;
+}
+
+}  // namespace agentnet

@@ -1,0 +1,79 @@
+// Loaded-network experiments: ant-maintained routes carrying flow traffic.
+//
+// run_traffic_task closes the AntNet control loop on the paper's routing
+// scenario: forward ants sample routes, the flow data plane (see
+// docs/TRAFFIC.md) pushes session traffic over the snapshot tables, its
+// queue occupancies feed back into the ants' trip times (kDelay mode) and
+// the gateway balancer damps deposits through hot gateways. The multi-run
+// harness mirrors run_routing_experiment: forked per-run seeds, per-run
+// telemetry slots, run-index-order merging — every aggregate, including
+// the latency percentiles (exact integer histogram), is bit-identical at
+// any AGENTNET_THREADS setting.
+#pragma once
+
+#include <cstdint>
+
+#include "aco/ant_routing.hpp"
+#include "common/stats.hpp"
+#include "core/routing_task.hpp"
+#include "fault/fault_plan.hpp"
+#include "obs/obs.hpp"
+#include "routing/gateway_balancer.hpp"
+#include "traffic/flow_traffic.hpp"
+
+namespace agentnet {
+
+struct TrafficTaskConfig {
+  AntRoutingConfig ants{};
+  FlowWorkloadConfig workload{};
+  LinkQueueConfig queue{};
+  /// Feed GatewayBalancer bias into backward-ant deposits.
+  bool balance_gateways = false;
+  GatewayBalancerConfig balancer{};
+  std::size_t steps = 300;
+  /// Traffic statistics restart here (warm-up excluded); connectivity is
+  /// averaged over the same converged window.
+  std::size_t measure_from = 150;
+  /// Unified fault model, masking the graph both planes see.
+  FaultPlan faults;
+};
+
+struct TrafficTaskResult {
+  FlowTrafficStats traffic;
+  double mean_connectivity = 0.0;
+  /// Offered / carried load in packets per non-gateway node per step,
+  /// over the measured window.
+  double offered_load = 0.0;
+  double carried_load = 0.0;
+  std::size_t ants_launched = 0;
+  std::size_t ants_completed = 0;
+  std::size_t ant_hops = 0;
+};
+
+TrafficTaskResult run_traffic_task(const RoutingScenario& scenario,
+                                   const TrafficTaskConfig& config, Rng rng);
+
+struct TrafficSummary {
+  int runs = 0;
+  /// Exact element-wise merge of every run's stats, in run-index order;
+  /// latency percentiles come off the merged histogram.
+  FlowTrafficStats traffic;
+  RunningStats mean_connectivity;
+  RunningStats delivery_ratio;
+  RunningStats offered_load;
+  RunningStats carried_load;
+};
+
+/// `runs` independent replications (run r seeded run_seed_base + r) on a
+/// worker pool, combined in run-index order; see run_routing_experiment
+/// for the threading / telemetry / fault-override contract it mirrors.
+TrafficSummary run_traffic_experiment(const RoutingScenario& scenario,
+                                      const TrafficTaskConfig& task,
+                                      int runs, std::uint64_t run_seed_base,
+                                      int threads = 0,
+                                      const ObsConfig& obs =
+                                          ObsConfig::from_env(),
+                                      const FaultConfig& faults =
+                                          FaultConfig::from_env());
+
+}  // namespace agentnet

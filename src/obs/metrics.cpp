@@ -54,6 +54,16 @@ const char* counter_name(Counter counter) {
       return "topo_full_rebuilds";
     case Counter::kDerivedCacheHits:
       return "derived_cache_hits";
+    case Counter::kFlowsStarted:
+      return "flows_started";
+    case Counter::kFlowsCompleted:
+      return "flows_completed";
+    case Counter::kPacketsGenerated:
+      return "packets_generated";
+    case Counter::kPacketsDelivered:
+      return "packets_delivered";
+    case Counter::kPacketsDropped:
+      return "packets_dropped";
     case Counter::kCount:
       break;
   }

@@ -43,6 +43,11 @@ enum class Counter : std::size_t {
   kTopoNodesDirty,       ///< Nodes patched by an incremental topology update.
   kTopoFullRebuilds,     ///< Full (non-incremental) topology rebuilds.
   kDerivedCacheHits,     ///< Epoch-keyed derived-state cache hits.
+  kFlowsStarted,         ///< Traffic sessions opened by the flow generator.
+  kFlowsCompleted,       ///< Traffic sessions that emitted their last packet.
+  kPacketsGenerated,     ///< Data packets injected (counted arrivals).
+  kPacketsDelivered,     ///< Data packets that reached their sink.
+  kPacketsDropped,       ///< Data packets dropped (any reason).
   kCount
 };
 

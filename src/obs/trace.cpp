@@ -36,6 +36,9 @@ constexpr KindFields kKindFields[static_cast<std::size_t>(
     /* bo_end    */ {nullptr, "blackout", nullptr},
     /* corrupt   */ {nullptr, "node", "size"},
     /* watchdog  */ {"agent", "node", nullptr},
+    /* flow_start*/ {nullptr, "src", "dst"},
+    /* flow_end  */ {nullptr, "src", "packets"},
+    /* pkt_drop  */ {nullptr, "node", "count"},
     /* finish    */ {nullptr, nullptr, nullptr},
     /* run_group */ {nullptr, "runs", nullptr},
 };
@@ -85,6 +88,12 @@ const char* trace_event_name(TraceEventKind kind) {
       return "exchange_corrupted";
     case TraceEventKind::kWatchdogRespawn:
       return "watchdog_respawn";
+    case TraceEventKind::kFlowStart:
+      return "flow_start";
+    case TraceEventKind::kFlowEnd:
+      return "flow_end";
+    case TraceEventKind::kPacketDrop:
+      return "packet_drop";
     case TraceEventKind::kFinish:
       return "finish";
     case TraceEventKind::kRunGroup:

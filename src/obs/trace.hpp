@@ -39,6 +39,9 @@ enum class TraceEventKind : std::uint8_t {
   kBlackoutEnd,    ///< A regional blackout ended.
   kExchangeCorrupted,  ///< A meeting's knowledge exchange was corrupted.
   kWatchdogRespawn,    ///< The watchdog replaced a silent roster slot.
+  kFlowStart,     ///< Traffic session opened (src, dst).
+  kFlowEnd,       ///< Traffic session emitted its last packet.
+  kPacketDrop,    ///< Data packets dropped at a node (count per step).
   kFinish,        ///< Mapping task finished (all maps perfect).
   kRunGroup,      ///< File marker: one experiment's group of runs follows.
   kCount

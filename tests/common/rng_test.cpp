@@ -139,6 +139,45 @@ TEST(RngTest, ExponentialMeanIsInverseRate) {
   EXPECT_NEAR(sum / samples, 2.0, 0.05);
 }
 
+TEST(RngTest, PoissonZeroMeanDrawsNothing) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.poisson(0.0), 0u);
+  // A zero-rate draw must consume no randomness, so downstream draws stay
+  // aligned with an Rng that never saw the call.
+  EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, PoissonMomentsMatchSmallMean) {
+  Rng rng(43);
+  const int samples = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double x = static_cast<double>(rng.poisson(3.0));
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / samples;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  // For Poisson, variance == mean.
+  EXPECT_NEAR(sum2 / samples - mean * mean, 3.0, 0.15);
+}
+
+TEST(RngTest, PoissonMeanMatchesLargeChunkedMean) {
+  // Means above the chunk size exercise the chunked Knuth path (a sum of
+  // independent Poissons is Poisson in the summed mean).
+  Rng rng(47);
+  const int samples = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < samples; ++i)
+    sum += static_cast<double>(rng.poisson(40.0));
+  EXPECT_NEAR(sum / samples, 40.0, 0.3);
+}
+
+TEST(RngTest, PoissonDeterministicForSameSeed) {
+  Rng a(53), b(53);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.poisson(1.7), b.poisson(1.7));
+}
+
 TEST(RngTest, ForkStreamsAreIndependent) {
   Rng parent(43);
   Rng a = parent.fork(1);

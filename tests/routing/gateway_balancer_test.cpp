@@ -1,0 +1,99 @@
+#include "routing/gateway_balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+namespace {
+
+const std::vector<bool> kMask{true, true, false, false};  // gateways 0, 1
+
+TEST(GatewayBalancerTest, RejectsBadConfig) {
+  GatewayBalancerConfig bad;
+  bad.smoothing = 0.0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = {};
+  bad.smoothing = 1.5;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = {};
+  bad.strength = -1.0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  EXPECT_THROW(GatewayBalancer(4, std::vector<bool>(3, false), {}),
+               ConfigError);
+}
+
+TEST(GatewayBalancerTest, ZeroTrafficBiasIsExactIdentity) {
+  GatewayBalancer balancer(4, kMask, {});
+  balancer.observe(std::vector<std::uint64_t>{0, 0, 0, 0});
+  // Exactly 1.0 — multiplying deposits by this bias must be bit-identical
+  // to not balancing at all (the golden-equivalence guarantee).
+  for (double b : balancer.bias()) EXPECT_EQ(b, 1.0);
+}
+
+TEST(GatewayBalancerTest, ZeroStrengthBiasIsExactIdentity) {
+  GatewayBalancerConfig cfg;
+  cfg.strength = 0.0;
+  GatewayBalancer balancer(4, kMask, cfg);
+  balancer.observe(std::vector<std::uint64_t>{100, 0, 0, 0});
+  for (double b : balancer.bias()) EXPECT_EQ(b, 1.0);
+}
+
+TEST(GatewayBalancerTest, HotGatewayDampedColdBoosted) {
+  GatewayBalancer balancer(4, kMask, {});
+  for (int i = 0; i < 20; ++i)
+    balancer.observe(std::vector<std::uint64_t>{90, 10, 0, 0});
+  const auto& bias = balancer.bias();
+  EXPECT_LT(bias[0], 1.0);  // hot gateway: deposits damped
+  EXPECT_GT(bias[1], 1.0);  // cold gateway: deposits boosted
+  EXPECT_GT(bias[0], 0.0);
+  EXPECT_LE(bias[1], 2.0);  // bounded by 2^strength
+  // Non-gateways are never biased.
+  EXPECT_EQ(bias[2], 1.0);
+  EXPECT_EQ(bias[3], 1.0);
+}
+
+TEST(GatewayBalancerTest, BalancedLoadBiasIsOne) {
+  GatewayBalancer balancer(4, kMask, {});
+  for (int i = 0; i < 20; ++i)
+    balancer.observe(std::vector<std::uint64_t>{50, 50, 0, 0});
+  // Equal load on every gateway: ratio = 2*mean/(mean+mean) = 1 exactly.
+  EXPECT_EQ(balancer.bias()[0], 1.0);
+  EXPECT_EQ(balancer.bias()[1], 1.0);
+}
+
+TEST(GatewayBalancerTest, StrengthSharpensTheBias) {
+  GatewayBalancerConfig gentle;
+  gentle.strength = 0.5;
+  GatewayBalancerConfig sharp;
+  sharp.strength = 2.0;
+  GatewayBalancer a(4, kMask, gentle);
+  GatewayBalancer b(4, kMask, sharp);
+  for (int i = 0; i < 20; ++i) {
+    a.observe(std::vector<std::uint64_t>{90, 10, 0, 0});
+    b.observe(std::vector<std::uint64_t>{90, 10, 0, 0});
+  }
+  EXPECT_LT(b.bias()[0], a.bias()[0]);  // hot gateway damped harder
+  EXPECT_GT(b.bias()[1], a.bias()[1]);  // cold gateway boosted harder
+}
+
+TEST(GatewayBalancerTest, EwmaForgetsOldLoad) {
+  GatewayBalancerConfig cfg;
+  cfg.smoothing = 0.5;
+  GatewayBalancer balancer(4, kMask, cfg);
+  for (int i = 0; i < 10; ++i)
+    balancer.observe(std::vector<std::uint64_t>{100, 0, 0, 0});
+  const double hot_before = balancer.bias()[0];
+  for (int i = 0; i < 30; ++i)
+    balancer.observe(std::vector<std::uint64_t>{0, 100, 0, 0});
+  // The roles flipped; the EWMA must follow.
+  EXPECT_GT(balancer.bias()[0], 1.0);
+  EXPECT_LT(balancer.bias()[1], 1.0);
+  EXPECT_GT(balancer.bias()[0], hot_before);
+}
+
+}  // namespace
+}  // namespace agentnet

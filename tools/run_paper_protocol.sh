@@ -39,7 +39,15 @@ if [ "${1:-}" = "--smoke" ]; then
   AGENTNET_THREADS=7 AGENTNET_TRACE="$tmp/route.jsonl" \
     build-tsan/examples/agentnet_cli scenario=routing nodes=50 gateways=4 \
     population=10 runs=2
+  # Loaded data plane (docs/TRAFFIC.md): delay-mode ants + gateway
+  # balancing under traffic heavy enough that session, queue and drop
+  # events all provably fire.
+  AGENTNET_THREADS=7 AGENTNET_TRACE="$tmp/traffic.jsonl" \
+    build-tsan/examples/agentnet_cli scenario=traffic nodes=50 gateways=4 \
+    load=0.4 mode=delay balance=1 runs=2
   build-tsan/tools/trace_check "$tmp/map.jsonl" "$tmp/route.jsonl"
+  build-tsan/tools/trace_check --require=flow_start --require=flow_end \
+    --require=packet_drop "$tmp/traffic.jsonl"
   echo "##### chaos runs (TSan + AGENTNET_FAULT_* + trace_check --require)"
   AGENTNET_THREADS=7 AGENTNET_TRACE="$tmp/map_chaos.jsonl" \
     AGENTNET_FAULT_AGENT_LOSS=0.02 AGENTNET_FAULT_NODE_CRASH=0.02 \
