@@ -21,6 +21,7 @@
 #include "geom/vec2.hpp"
 #include "mobility/mobility.hpp"
 #include "net/generators.hpp"
+#include "obs/manifest.hpp"
 #include "radio/range_model.hpp"
 #include "sim/world.hpp"
 #include "traffic/flow_traffic.hpp"
@@ -169,4 +170,13 @@ BENCHMARK(BM_TrafficAdvanceLoaded);
 }  // namespace
 }  // namespace agentnet
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN() so every bench run can drop a
+// provenance manifest next to its JSON (gated on AGENTNET_MANIFEST).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  agentnet::obs::write_env_manifest();
+  return 0;
+}

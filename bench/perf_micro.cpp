@@ -20,6 +20,7 @@
 #include "mobility/mobility.hpp"
 #include "net/generators.hpp"
 #include "net/metrics.hpp"
+#include "obs/manifest.hpp"
 #include "routing/connectivity.hpp"
 
 namespace {
@@ -294,4 +295,13 @@ BENCHMARK(BM_SpatialGridRebuild)->Arg(250)->Arg(2000);
 }  // namespace
 }  // namespace agentnet
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN() so every bench run can drop a
+// provenance manifest next to its JSON (gated on AGENTNET_MANIFEST).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  agentnet::obs::write_env_manifest();
+  return 0;
+}

@@ -93,10 +93,10 @@ int run_mapping(Options& opts) {
   // Collect the merged per-run counters so CSV exports can carry them as a
   // `#` footer (topology upkeep and cache-hit totals included).
   obs::RunObs run_obs;
-  const MappingSummary summary = [&] {
-    obs::ObsRunScope scope(run_obs);
-    return run_mapping_experiment(net, task, runs, paper::kRunSeedBase);
-  }();
+  obs::ObsConfig obs_config = obs::ObsConfig::from_env();
+  obs_config.sink = &run_obs;
+  const MappingSummary summary = run_mapping_experiment(
+      net, task, runs, paper::kRunSeedBase, 0, obs_config);
   std::printf(
       "%d x %s%s agents: finishing time %.1f ± %.1f over %d runs"
       " (%d unfinished)\n",
@@ -109,7 +109,7 @@ int run_mapping(Options& opts) {
     AGENTNET_REQUIRE(os.is_open(), "cannot write " + csv);
     write_series_csv(os, {"knowledge_mean", "knowledge_stddev"},
                      {summary.knowledge.mean(), summary.knowledge.stddev()});
-    obs::write_counter_footer(os, run_obs.counters);
+    obs::write_run_footer(os, run_obs, obs_config);
     std::printf("knowledge series written to %s\n", csv.c_str());
   }
   return 0;
@@ -158,10 +158,10 @@ int run_routing(Options& opts) {
     std::printf("scenario written to %s\n", export_scenario.c_str());
   }
   obs::RunObs run_obs;
-  const RoutingSummary summary = [&] {
-    obs::ObsRunScope scope(run_obs);
-    return run_routing_experiment(scenario, task, runs, paper::kRunSeedBase);
-  }();
+  obs::ObsConfig obs_config = obs::ObsConfig::from_env();
+  obs_config.sink = &run_obs;
+  const RoutingSummary summary = run_routing_experiment(
+      scenario, task, runs, paper::kRunSeedBase, 0, obs_config);
   std::printf(
       "%d x %s agents%s%s: connectivity %.3f ± %.3f over %d runs\n",
       task.population, to_string(task.agent.policy),
@@ -190,7 +190,7 @@ int run_routing(Options& opts) {
       series.push_back(summary.oracle.mean());
     }
     write_series_csv(os, names, series);
-    obs::write_counter_footer(os, run_obs.counters);
+    obs::write_run_footer(os, run_obs, obs_config);
     std::printf("connectivity series written to %s\n", csv.c_str());
   }
   return 0;
@@ -210,14 +210,21 @@ int run_aco(Options& opts) {
   opts.finish();
 
   const RoutingScenario scenario(scenario_params, seed);
+  obs::RunObs run_obs;
+  obs::ObsConfig obs_config = obs::ObsConfig::from_env();
+  obs_config.sink = &run_obs;
+  std::vector<obs::RunObs> slots(static_cast<std::size_t>(runs));
+  obs::enable_slots(slots, obs_config);
   RunningStats conn, mb;
   for (int r = 0; r < runs; ++r) {
+    obs::ObsRunScope scope(slots[static_cast<std::size_t>(r)]);
     const auto result = run_ant_routing_task(
         scenario, task,
         Rng(paper::kRunSeedBase + static_cast<std::uint64_t>(r)));
     conn.add(result.mean_connectivity);
     mb.add(static_cast<double>(result.control_bytes) / 1e6);
   }
+  obs::merge_and_write(slots, obs_config, paper::kRunSeedBase, runs, 1);
   std::printf(
       "ant colony (launch %.2f): connectivity %.3f ± %.3f, control %.2f MB "
       "over %d runs\n",
@@ -255,10 +262,10 @@ int run_traffic(Options& opts) {
 
   const RoutingScenario scenario(scenario_params, seed);
   obs::RunObs run_obs;
-  const TrafficSummary summary = [&] {
-    obs::ObsRunScope scope(run_obs);
-    return run_traffic_experiment(scenario, task, runs, paper::kRunSeedBase);
-  }();
+  obs::ObsConfig obs_config = obs::ObsConfig::from_env();
+  obs_config.sink = &run_obs;
+  const TrafficSummary summary = run_traffic_experiment(
+      scenario, task, runs, paper::kRunSeedBase, 0, obs_config);
   const FlowTrafficStats& ts = summary.traffic;
   std::printf(
       "ant routing (%s%s): offered %.3f, carried %.3f pkts/node/step, "

@@ -39,6 +39,27 @@ double AntRoutingSystem::pheromone(NodeId from, NodeId to) const {
   return it == pheromone_[from].end() ? 0.0 : it->second;
 }
 
+double AntRoutingSystem::pheromone_entropy() const {
+  double sum = 0.0;
+  std::size_t rows = 0;
+  for (const auto& row : pheromone_) {
+    if (row.size() < 2) continue;
+    double total = 0.0;
+    for (const auto& [to, tau] : row)
+      if (tau > 0.0) total += tau;
+    if (total <= 0.0) continue;
+    double entropy = 0.0;
+    for (const auto& [to, tau] : row) {
+      if (tau <= 0.0) continue;
+      const double p = tau / total;
+      entropy -= p * std::log(p);
+    }
+    sum += entropy / std::log(static_cast<double>(row.size()));
+    ++rows;
+  }
+  return rows == 0 ? 0.0 : sum / static_cast<double>(rows);
+}
+
 void AntRoutingSystem::account_hop(const Ant& ant) {
   ++ant_hops_;
   AGENTNET_COUNT(kAntHops);

@@ -85,6 +85,12 @@ class AntRoutingSystem {
   /// Current pheromone on the directed pair (from → to); 0 if none.
   double pheromone(NodeId from, NodeId to) const;
 
+  /// Mean normalized Shannon entropy of the pheromone rows with at least
+  /// two positive entries: 1.0 = undecided (uniform), → 0 as each row
+  /// concentrates on one next hop. 0.0 when no row qualifies. The
+  /// time-series kPheromoneEntropy gauge — a convergence indicator.
+  double pheromone_entropy() const;
+
   /// Each node's argmax-pheromone next hop as a routing-table snapshot
   /// (entries stamped `now` so the freshness policy never evicts them).
   RoutingTables snapshot_tables(std::size_t now) const;

@@ -59,6 +59,14 @@ AntRoutingResult run_ant_routing_task(const RoutingScenario& scenario,
       result.connectivity.push_back(
           conn_cache.measure(world, tables, scenario.is_gateway()).fraction());
     }
+    AGENTNET_OBS_GAUGE(kConnectivity, t, result.connectivity.back());
+    if (AGENTNET_OBS_METRICS_WANT(t)) {
+      AGENTNET_OBS_GAUGE(kPheromoneEntropy, t, ants.pheromone_entropy());
+      if (injector && plan.topology_faults())
+        AGENTNET_OBS_GAUGE(kLiveFraction, t,
+                           injector->live_fraction(world.node_count()));
+    }
+    AGENTNET_OBS_METRICS_TICK(t);
   }
   AGENTNET_OBS_PHASE(kSummarize);
   RunningStats window;

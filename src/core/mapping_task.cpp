@@ -376,6 +376,13 @@ MappingTaskResult run_mapping_task(World& world,
                 : sum_fraction / static_cast<double>(agents.size()));
         result.min_knowledge.push_back(agents.empty() ? 0.0 : min_fraction);
       }
+      AGENTNET_OBS_GAUGE(
+          kKnowledge, t,
+          agents.empty() ? 0.0
+                         : sum_fraction / static_cast<double>(agents.size()));
+      if (AGENTNET_OBS_METRICS_WANT(t) && injector && plan.topology_faults())
+        AGENTNET_OBS_GAUGE(kLiveFraction, t,
+                           injector->live_fraction(world.node_count()));
       if (!agents.empty() && min_fraction >= 1.0) {
         result.finished = true;
         result.finishing_time = t;
@@ -440,6 +447,7 @@ MappingTaskResult run_mapping_task(World& world,
     }
 
     if (config.advance_world) world.advance();
+    AGENTNET_OBS_METRICS_TICK(t);
   }
 
   AGENTNET_INFO() << "mapping task hit max_steps=" << config.max_steps

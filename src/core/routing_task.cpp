@@ -547,18 +547,24 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
           plan.topology_faults()
               ? measure_connectivity(measured, tables, is_gateway).fraction()
               : conn_cache.measure(world, tables, is_gateway).fraction());
-      if (config.record_oracle)
+      AGENTNET_OBS_GAUGE(kConnectivity, t, result.connectivity.back());
+      if (config.record_oracle) {
         result.oracle.push_back(
             oracle_cache
                 .measure(plan.topology_faults() ? kNoCacheEpoch
                                                 : world.epoch(),
                          measured, is_gateway)
                 .fraction());
+        AGENTNET_OBS_GAUGE(kOracleConnectivity, t, result.oracle.back());
+      }
+      if (AGENTNET_OBS_METRICS_WANT(t) && plan.topology_faults())
+        AGENTNET_OBS_GAUGE(kLiveFraction, t, injector.live_fraction(n));
       // Traffic flows over the converged window only, so delivery measures
       // the steady state rather than the cold start.
       if (traffic && t >= config.measure_from)
         traffic->step(measured, tables, t);
     }
+    AGENTNET_OBS_METRICS_TICK(t);
   }
   if (traffic) {
     traffic->finish();

@@ -25,8 +25,7 @@ MappingSummary run_mapping_experiment(const GeneratedNetwork& network,
   // One telemetry slot per run: each replication counts and traces into its
   // own shard, merged in run-index order below.
   std::vector<obs::RunObs> slots(static_cast<std::size_t>(runs));
-  if (obs.trace_path)
-    for (auto& slot : slots) slot.trace.enable();
+  obs::enable_slots(slots, obs);
 
   // Fan the replications out: run r is a pure function of (task, seed + r)
   // and writes only its own slot, so execution order is irrelevant.
@@ -42,18 +41,7 @@ MappingSummary run_mapping_experiment(const GeneratedNetwork& network,
       },
       static_cast<std::size_t>(threads));
 
-  obs::RunObs& dest = obs.sink ? *obs.sink : obs::current_obs();
-  {
-    obs::ObsRunScope merge_scope(dest);
-    AGENTNET_OBS_PHASE(kMerge);
-    for (const auto& slot : slots) obs::merge_into(dest, slot);
-    if (obs.trace_path) {
-      std::vector<const obs::TraceBuffer*> buffers;
-      buffers.reserve(slots.size());
-      for (const auto& slot : slots) buffers.push_back(&slot.trace);
-      obs::write_trace(*obs.trace_path, obs.trace_format, buffers);
-    }
-  }
+  obs::merge_and_write(slots, obs, run_seed_base, runs, threads);
 
   // Combine in run-index order — the exact aggregation the serial loop
   // performed, so summaries are bit-identical at every thread count.

@@ -62,17 +62,27 @@ TrafficTaskResult run_traffic_task(const RoutingScenario& scenario,
     {
       AGENTNET_OBS_PHASE(kMeasure);
       if (t >= config.measure_from) {
-        if (injector && plan.topology_faults()) {
-          window.add(measure_connectivity(live, tables, scenario.is_gateway())
-                         .fraction());
-        } else {
-          window.add(
-              conn_cache.measure(world, tables, scenario.is_gateway())
-                  .fraction());
-        }
+        const double fraction =
+            injector && plan.topology_faults()
+                ? measure_connectivity(live, tables, scenario.is_gateway())
+                      .fraction()
+                : conn_cache.measure(world, tables, scenario.is_gateway())
+                      .fraction();
+        window.add(fraction);
+        AGENTNET_OBS_GAUGE(kConnectivity, t, fraction);
+      }
+      if (AGENTNET_OBS_METRICS_WANT(t)) {
+        AGENTNET_OBS_GAUGE(kQueueDepth, t,
+                           static_cast<double>(traffic.queued()));
+        AGENTNET_OBS_GAUGE(kPheromoneEntropy, t, ants.pheromone_entropy());
+        if (injector && plan.topology_faults())
+          AGENTNET_OBS_GAUGE(kLiveFraction, t,
+                             injector->live_fraction(world.node_count()));
+        AGENTNET_OBS_LATENCY_WINDOW(t, traffic.stats().latency_histogram);
       }
     }
     world.advance();
+    AGENTNET_OBS_METRICS_TICK(t);
   }
   AGENTNET_OBS_PHASE(kSummarize);
   traffic.finish();
@@ -109,8 +119,7 @@ TrafficSummary run_traffic_experiment(const RoutingScenario& scenario,
   if (!(faults == FaultPlan{})) effective.faults = faults;
 
   std::vector<obs::RunObs> slots(static_cast<std::size_t>(runs));
-  if (obs.trace_path)
-    for (auto& slot : slots) slot.trace.enable();
+  obs::enable_slots(slots, obs);
 
   std::vector<TrafficTaskResult> results(static_cast<std::size_t>(runs));
   parallel_for(
@@ -123,18 +132,7 @@ TrafficSummary run_traffic_experiment(const RoutingScenario& scenario,
       },
       static_cast<std::size_t>(threads));
 
-  obs::RunObs& dest = obs.sink ? *obs.sink : obs::current_obs();
-  {
-    obs::ObsRunScope merge_scope(dest);
-    AGENTNET_OBS_PHASE(kMerge);
-    for (const auto& slot : slots) obs::merge_into(dest, slot);
-    if (obs.trace_path) {
-      std::vector<const obs::TraceBuffer*> buffers;
-      buffers.reserve(slots.size());
-      for (const auto& slot : slots) buffers.push_back(&slot.trace);
-      obs::write_trace(*obs.trace_path, obs.trace_format, buffers);
-    }
-  }
+  obs::merge_and_write(slots, obs, run_seed_base, runs, threads);
 
   // Run-index-order combination: integer stats merge exactly, so the
   // percentile read off the merged histogram is thread-count invariant.

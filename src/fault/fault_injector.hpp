@@ -90,6 +90,17 @@ class FaultInjector {
     return node < down_.size() && down_[node] != 0;
   }
 
+  /// Fraction of the first `n` nodes not down in the most recent
+  /// live_graph() mask; 1.0 before the first call or without topology
+  /// faults. The time-series kLiveFraction gauge.
+  double live_fraction(std::size_t n) const {
+    if (n == 0 || down_.empty()) return 1.0;
+    std::size_t downs = 0;
+    for (std::size_t v = 0; v < n && v < down_.size(); ++v)
+      downs += down_[v] != 0;
+    return 1.0 - static_cast<double>(downs) / static_cast<double>(n);
+  }
+
  private:
   /// Recomputes the mask and transition bookkeeping for `step`.
   const Graph& recompute_mask(const Graph& graph,

@@ -1,73 +1,53 @@
 #include "obs/metrics.hpp"
 
+#include <iterator>
 #include <ostream>
 
 namespace agentnet::obs {
 
+namespace {
+
+// Indexed by Counter; the static_assert makes adding an enumerator
+// without a name (or vice versa) a compile error, not a "?" at runtime.
+constexpr const char* kCounterNames[] = {
+    "agent_hops",
+    "agent_meetings",
+    "knowledge_merges",
+    "stigmergy_stamps",
+    "stigmergy_avoidances",
+    "route_table_updates",
+    "battery_deaths",
+    "link_flaps",
+    "agents_lost",
+    "agents_respawned",
+    "node_crashes",
+    "blackout_starts",
+    "exchanges_corrupted",
+    "fault_link_drops",
+    "routes_aged",
+    "watchdog_respawns",
+    "ants_launched",
+    "ant_hops",
+    "lsa_messages",
+    "lsa_dropped",
+    "dv_relaxations",
+    "topo_nodes_dirty",
+    "topo_full_rebuilds",
+    "derived_cache_hits",
+    "flows_started",
+    "flows_completed",
+    "packets_generated",
+    "packets_delivered",
+    "packets_dropped",
+};
+static_assert(std::size(kCounterNames) == kCounterCount,
+              "kCounterNames must name every Counter enumerator");
+
+}  // namespace
+
 const char* counter_name(Counter counter) {
-  switch (counter) {
-    case Counter::kAgentHops:
-      return "agent_hops";
-    case Counter::kAgentMeetings:
-      return "agent_meetings";
-    case Counter::kKnowledgeMerges:
-      return "knowledge_merges";
-    case Counter::kStigmergyStamps:
-      return "stigmergy_stamps";
-    case Counter::kStigmergyAvoidances:
-      return "stigmergy_avoidances";
-    case Counter::kRouteTableUpdates:
-      return "route_table_updates";
-    case Counter::kBatteryDeaths:
-      return "battery_deaths";
-    case Counter::kLinkFlaps:
-      return "link_flaps";
-    case Counter::kAgentsLost:
-      return "agents_lost";
-    case Counter::kAgentsRespawned:
-      return "agents_respawned";
-    case Counter::kNodeCrashes:
-      return "node_crashes";
-    case Counter::kBlackoutStarts:
-      return "blackout_starts";
-    case Counter::kExchangesCorrupted:
-      return "exchanges_corrupted";
-    case Counter::kFaultLinkDrops:
-      return "fault_link_drops";
-    case Counter::kRoutesAged:
-      return "routes_aged";
-    case Counter::kWatchdogRespawns:
-      return "watchdog_respawns";
-    case Counter::kAntsLaunched:
-      return "ants_launched";
-    case Counter::kAntHops:
-      return "ant_hops";
-    case Counter::kLsaMessages:
-      return "lsa_messages";
-    case Counter::kLsaDropped:
-      return "lsa_dropped";
-    case Counter::kDvRelaxations:
-      return "dv_relaxations";
-    case Counter::kTopoNodesDirty:
-      return "topo_nodes_dirty";
-    case Counter::kTopoFullRebuilds:
-      return "topo_full_rebuilds";
-    case Counter::kDerivedCacheHits:
-      return "derived_cache_hits";
-    case Counter::kFlowsStarted:
-      return "flows_started";
-    case Counter::kFlowsCompleted:
-      return "flows_completed";
-    case Counter::kPacketsGenerated:
-      return "packets_generated";
-    case Counter::kPacketsDelivered:
-      return "packets_delivered";
-    case Counter::kPacketsDropped:
-      return "packets_dropped";
-    case Counter::kCount:
-      break;
-  }
-  return "?";
+  const auto i = static_cast<std::size_t>(counter);
+  return i < kCounterCount ? kCounterNames[i] : "?";
 }
 
 MetricsSnapshot snapshot(const CounterSlot& slot) {

@@ -1,33 +1,33 @@
 #include "obs/phase.hpp"
 
+#include <iterator>
+
 namespace agentnet::obs {
 
+namespace {
+
+// Indexed by Phase; the static_assert makes adding an enumerator without
+// a name (or vice versa) a compile error, not a "?" at runtime.
+constexpr const char* kPhaseNames[] = {
+    "setup",
+    "sense",
+    "exchange",
+    "decide",
+    "move",
+    "measure",
+    "world_advance",
+    "step",
+    "merge",
+    "summarize",
+};
+static_assert(std::size(kPhaseNames) == kPhaseCount,
+              "kPhaseNames must name every Phase enumerator");
+
+}  // namespace
+
 const char* phase_name(Phase phase) {
-  switch (phase) {
-    case Phase::kSetup:
-      return "setup";
-    case Phase::kSense:
-      return "sense";
-    case Phase::kExchange:
-      return "exchange";
-    case Phase::kDecide:
-      return "decide";
-    case Phase::kMove:
-      return "move";
-    case Phase::kMeasure:
-      return "measure";
-    case Phase::kWorldAdvance:
-      return "world_advance";
-    case Phase::kStep:
-      return "step";
-    case Phase::kMerge:
-      return "merge";
-    case Phase::kSummarize:
-      return "summarize";
-    case Phase::kCount:
-      break;
-  }
-  return "?";
+  const auto i = static_cast<std::size_t>(phase);
+  return i < kPhaseCount ? kPhaseNames[i] : "?";
 }
 
 PhaseSnapshot snapshot(const PhaseAccumulator& accumulator) {

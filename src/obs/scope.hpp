@@ -12,10 +12,12 @@
 #pragma once
 
 #include <chrono>
+#include <span>
 
 #include "obs/metrics.hpp"
 #include "obs/obs_level.hpp"
 #include "obs/phase.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace agentnet::obs {
@@ -24,6 +26,7 @@ struct RunObs {
   CounterSlot counters;
   PhaseAccumulator phases;
   TraceBuffer trace;
+  MetricsBuffer metrics;
 };
 
 namespace detail {
@@ -58,6 +61,29 @@ class ObsRunScope {
 
 inline void count(Counter counter, std::uint64_t n = 1) {
   current_obs().counters.add(counter, n);
+}
+
+/// True when the current slot samples time-series metrics at `step` —
+/// the guard task loops use before computing gauge values the simulation
+/// does not already pay for.
+inline bool metrics_want(std::uint64_t step) {
+  return current_obs().metrics.want(step);
+}
+
+inline void gauge_sample(Gauge gauge, std::uint64_t step, double value) {
+  current_obs().metrics.gauge(step, gauge, value);
+}
+
+/// Closes the current slot's metrics row for `step` with the counter
+/// deltas accumulated since the previous tick.
+inline void metrics_tick(std::uint64_t step) {
+  RunObs& obs = current_obs();
+  obs.metrics.tick(step, obs.counters);
+}
+
+inline void latency_window(std::uint64_t step,
+                           std::span<const std::uint64_t> histogram) {
+  current_obs().metrics.sample_latency(step, histogram);
 }
 
 inline void emit(TraceEventKind kind, std::uint64_t step,
@@ -100,7 +126,7 @@ class ScopedPhase {
 
 /// Adds src's counters and phase timings into dst (exact integer sums;
 /// order-independent, but the harness still merges in run-index order).
-/// Trace buffers are not merged — they are written per run.
+/// Trace and metrics buffers are not merged — they are written per run.
 void merge_into(RunObs& dst, const RunObs& src);
 
 }  // namespace agentnet::obs

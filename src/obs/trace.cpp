@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <fstream>
+#include <iterator>
 #include <mutex>
 #include <set>
 #include <utility>
@@ -19,8 +20,7 @@ struct KindFields {
   const char* b;
 };
 
-constexpr KindFields kKindFields[static_cast<std::size_t>(
-    TraceEventKind::kCount)] = {
+constexpr KindFields kKindFields[] = {
     /* spawn     */ {"agent", "node", nullptr},
     /* move      */ {"agent", "from", "to"},
     /* meet      */ {nullptr, "node", "size"},
@@ -42,6 +42,37 @@ constexpr KindFields kKindFields[static_cast<std::size_t>(
     /* finish    */ {nullptr, nullptr, nullptr},
     /* run_group */ {nullptr, "runs", nullptr},
 };
+static_assert(std::size(kKindFields) ==
+                  static_cast<std::size_t>(TraceEventKind::kCount),
+              "kKindFields must cover every TraceEventKind enumerator");
+
+// Indexed by TraceEventKind; the static_assert makes adding an enumerator
+// without a name (or vice versa) a compile error, not a "?" at runtime.
+constexpr const char* kTraceEventNames[] = {
+    "spawn",
+    "move",
+    "meet",
+    "merge",
+    "stamp",
+    "route",
+    "lost",
+    "respawn",
+    "death",
+    "node_crash",
+    "node_recover",
+    "blackout_start",
+    "blackout_end",
+    "exchange_corrupted",
+    "watchdog_respawn",
+    "flow_start",
+    "flow_end",
+    "packet_drop",
+    "finish",
+    "run_group",
+};
+static_assert(std::size(kTraceEventNames) ==
+                  static_cast<std::size_t>(TraceEventKind::kCount),
+              "kTraceEventNames must name every TraceEventKind enumerator");
 
 const KindFields& fields_of(TraceEventKind kind) {
   return kKindFields[static_cast<std::size_t>(kind)];
@@ -57,51 +88,10 @@ void append_field(std::string& out, const char* name, std::int64_t value) {
 }  // namespace
 
 const char* trace_event_name(TraceEventKind kind) {
-  switch (kind) {
-    case TraceEventKind::kSpawn:
-      return "spawn";
-    case TraceEventKind::kMove:
-      return "move";
-    case TraceEventKind::kMeet:
-      return "meet";
-    case TraceEventKind::kMerge:
-      return "merge";
-    case TraceEventKind::kStamp:
-      return "stamp";
-    case TraceEventKind::kRouteUpdate:
-      return "route";
-    case TraceEventKind::kLost:
-      return "lost";
-    case TraceEventKind::kRespawn:
-      return "respawn";
-    case TraceEventKind::kBatteryDeath:
-      return "death";
-    case TraceEventKind::kNodeCrash:
-      return "node_crash";
-    case TraceEventKind::kNodeRecover:
-      return "node_recover";
-    case TraceEventKind::kBlackoutStart:
-      return "blackout_start";
-    case TraceEventKind::kBlackoutEnd:
-      return "blackout_end";
-    case TraceEventKind::kExchangeCorrupted:
-      return "exchange_corrupted";
-    case TraceEventKind::kWatchdogRespawn:
-      return "watchdog_respawn";
-    case TraceEventKind::kFlowStart:
-      return "flow_start";
-    case TraceEventKind::kFlowEnd:
-      return "flow_end";
-    case TraceEventKind::kPacketDrop:
-      return "packet_drop";
-    case TraceEventKind::kFinish:
-      return "finish";
-    case TraceEventKind::kRunGroup:
-      return "run_group";
-    case TraceEventKind::kCount:
-      break;
-  }
-  return "?";
+  const auto i = static_cast<std::size_t>(kind);
+  return i < static_cast<std::size_t>(TraceEventKind::kCount)
+             ? kTraceEventNames[i]
+             : "?";
 }
 
 std::string serialize_trace_line(std::int64_t run, const TraceEvent& event) {

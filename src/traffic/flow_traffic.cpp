@@ -92,18 +92,10 @@ LinkQueueConfig LinkQueueConfig::from_env() {
 std::uint64_t FlowTrafficStats::latency_quantile(double q) const {
   AGENTNET_ASSERT(q >= 0.0 && q <= 1.0);
   if (delivered == 0) return 0;
-  // Rank statistic on the exact histogram: the smallest latency whose
-  // cumulative count reaches ceil(q * delivered). Merge-order independent.
-  auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(delivered)));
-  rank = std::clamp<std::uint64_t>(rank, 1, delivered);
-  std::uint64_t cumulative = 0;
-  for (std::size_t latency = 0; latency < latency_histogram.size();
-       ++latency) {
-    cumulative += latency_histogram[latency];
-    if (cumulative >= rank) return latency;
-  }
-  return latency_histogram.empty() ? 0 : latency_histogram.size() - 1;
+  // Every delivered packet lands in the histogram, so the shared rank
+  // statistic (smallest latency whose cumulative count reaches
+  // ceil(q * delivered)) gives the exact same answer it always did.
+  return obs::histogram_quantile(latency_histogram, q);
 }
 
 FlowTrafficStats& FlowTrafficStats::operator+=(

@@ -17,15 +17,19 @@
 # (AGENTNET_TRACE, 7 threads) plus one chaos-harness run of each under the
 # AGENTNET_FAULT_* environment (docs/ROBUSTNESS.md), and validates the
 # JSONL event streams with tools/trace_check — including --require proofs
-# that the chaos runs actually crashed nodes and lost agents. A fast
-# data-race + schema check, not a bench sweep.
+# that the chaos runs actually crashed nodes and lost agents. It also runs
+# one traced+metered fault-injected routing run per thread count (1 and 2),
+# proves the metrics stream byte-identical across the two, and pushes it
+# through trace_check --metrics and tools/metrics_report
+# (validate/summarize/diff; docs/OBSERVABILITY.md). A fast data-race +
+# schema check, not a bench sweep.
 set -eu
 
 if [ "${1:-}" = "--smoke" ]; then
   cmake -B build-tsan -S . -DAGENTNET_SANITIZE=thread
   cmake --build build-tsan \
     --target parallel_determinism_test obs_test agentnet_cli trace_check \
-    -j"$(nproc)"
+    metrics_report -j"$(nproc)"
   echo "##### parallel_determinism_test (TSan)"
   AGENTNET_THREADS=7 build-tsan/tests/parallel_determinism_test
   echo "##### obs_test (TSan)"
@@ -62,6 +66,33 @@ if [ "${1:-}" = "--smoke" ]; then
     population=10 runs=2
   build-tsan/tools/trace_check --require=node_crash --require=node_recover \
     --require=lost "$tmp/map_chaos.jsonl" "$tmp/route_chaos.jsonl"
+  echo "##### time-series metrics (TSan + metrics_report + thread diff)"
+  # One fault-injected routing run per thread count: stdout tables and the
+  # metrics stream must be byte-identical at threads=1 and threads=2
+  # (docs/OBSERVABILITY.md determinism contract; manifests legitimately
+  # differ — they record the thread count). The analyzer leg then proves
+  # the stream is machine-readable end to end.
+  AGENTNET_THREADS=1 AGENTNET_TRACE="$tmp/route_m1.trace.jsonl" \
+    AGENTNET_METRICS="$tmp/route_m1.jsonl" AGENTNET_METRICS_EVERY=1 \
+    AGENTNET_MANIFEST="$tmp/route_m1.manifest.json" \
+    AGENTNET_FAULT_NODE_CRASH=0.05 \
+    build-tsan/examples/agentnet_cli scenario=routing nodes=50 gateways=4 \
+    population=10 runs=2 > "$tmp/route_m1.out"
+  AGENTNET_THREADS=2 AGENTNET_TRACE="$tmp/route_m2.trace.jsonl" \
+    AGENTNET_METRICS="$tmp/route_m2.jsonl" AGENTNET_METRICS_EVERY=1 \
+    AGENTNET_MANIFEST="$tmp/route_m2.manifest.json" \
+    AGENTNET_FAULT_NODE_CRASH=0.05 \
+    build-tsan/examples/agentnet_cli scenario=routing nodes=50 gateways=4 \
+    population=10 runs=2 > "$tmp/route_m2.out"
+  diff "$tmp/route_m1.out" "$tmp/route_m2.out"
+  diff "$tmp/route_m1.jsonl" "$tmp/route_m2.jsonl"
+  echo "metrics streams at threads=1 and threads=2 are bit-identical"
+  build-tsan/tools/trace_check --metrics "$tmp/route_m1.jsonl"
+  build-tsan/tools/metrics_report validate "$tmp/route_m1.jsonl"
+  build-tsan/tools/metrics_report summarize "$tmp/route_m1.jsonl" \
+    --gauge=connectivity --threshold=0.5
+  build-tsan/tools/metrics_report diff "$tmp/route_m1.jsonl" \
+    "$tmp/route_m2.jsonl"
   echo "##### hot-path equivalence suite (TSan)"
   cmake --build build-tsan --target rebuild_equivalence_test -j"$(nproc)"
   build-tsan/tests/rebuild_equivalence_test
