@@ -8,9 +8,12 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <new>
+#include <string>
 
 #include "common/flat_map.hpp"
 #include "core/mapping_task.hpp"
@@ -22,6 +25,7 @@
 #include "net/metrics.hpp"
 #include "obs/manifest.hpp"
 #include "routing/connectivity.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace {
 
@@ -291,6 +295,59 @@ void BM_SpatialGridRebuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SpatialGridRebuild)->Arg(250)->Arg(2000);
+
+// --- Checkpoint/restore cost (docs/ROBUSTNESS.md) -------------------------
+// One realistic mid-run routing checkpoint (paper-scale scenario, 100
+// agents, fault-free): how long a periodic autosave stalls a run, how long
+// a resume takes, and how large the artefact is per node.
+
+constexpr std::size_t kCheckpointNodes = 250;
+
+/// Lazily produces the checkpoint file by actually checkpointing a
+/// routing run at step 20, so the payload has the real shape (tables,
+/// board, agents, caches, telemetry), not synthetic filler.
+const std::string& checkpoint_fixture() {
+  static const std::string path = [] {
+    const char* tmpdir = std::getenv("TMPDIR");
+    const std::string p = std::string(tmpdir ? tmpdir : "/tmp") +
+                          "/agentnet_perf_micro_ck.snap";
+    RoutingScenarioParams params;
+    params.node_count = kCheckpointNodes;
+    const RoutingScenario scenario{params, 2010};
+    snapshot::ExperimentCheckpointer checkpointer(
+        {"routing", 1, 1, scenario.node_count(), 40}, p, 20, "");
+    snapshot::RunCheckpointPort port = checkpointer.port(0);
+    RoutingTaskConfig cfg;
+    cfg.population = 100;
+    cfg.steps = 40;
+    cfg.measure_from = 20;
+    cfg.checkpoint = &port;
+    run_routing_task(scenario, cfg, Rng(1));
+    return p;
+  }();
+  return path;
+}
+
+void BM_CheckpointSave(benchmark::State& state) {
+  const snapshot::Checkpoint checkpoint =
+      snapshot::load_checkpoint(checkpoint_fixture());
+  const std::string out = checkpoint_fixture() + ".resave";
+  for (auto _ : state) snapshot::save_checkpoint(checkpoint, out);
+  std::ifstream is(out, std::ios::binary | std::ios::ate);
+  const auto bytes = static_cast<double>(is.tellg());
+  state.counters["snapshot_bytes"] = bytes;
+  state.counters["bytes_per_node"] =
+      bytes / static_cast<double>(kCheckpointNodes);
+  std::remove(out.c_str());
+}
+BENCHMARK(BM_CheckpointSave);
+
+void BM_CheckpointLoad(benchmark::State& state) {
+  const std::string& path = checkpoint_fixture();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(snapshot::load_checkpoint(path));
+}
+BENCHMARK(BM_CheckpointLoad);
 
 }  // namespace
 }  // namespace agentnet

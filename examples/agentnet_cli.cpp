@@ -21,7 +21,9 @@
 #include <iostream>
 
 #include "agentnet.hpp"
+#include "common/atomic_file.hpp"
 #include "obs/obs.hpp"
+#include "snapshot/snapshot.hpp"
 
 using namespace agentnet;
 
@@ -85,9 +87,9 @@ int run_mapping(Options& opts) {
               static_cast<unsigned long long>(seed));
   if (!export_net.empty()) save_network_file(net, export_net);
   if (!export_dot.empty()) {
-    std::ofstream os(export_dot);
-    AGENTNET_REQUIRE(os.is_open(), "cannot write " + export_dot);
-    os << to_dot(net);
+    AtomicFileWriter file(export_dot);
+    file.stream() << to_dot(net);
+    file.commit();
   }
 
   // Collect the merged per-run counters so CSV exports can carry them as a
@@ -105,11 +107,11 @@ int run_mapping(Options& opts) {
       summary.finishing_time.empty() ? 0.0 : summary.finishing_time.mean(),
       confidence_halfwidth(summary.finishing_time), runs, summary.unfinished);
   if (!csv.empty()) {
-    std::ofstream os(csv);
-    AGENTNET_REQUIRE(os.is_open(), "cannot write " + csv);
-    write_series_csv(os, {"knowledge_mean", "knowledge_stddev"},
+    AtomicFileWriter file(csv);
+    write_series_csv(file.stream(), {"knowledge_mean", "knowledge_stddev"},
                      {summary.knowledge.mean(), summary.knowledge.stddev()});
-    obs::write_run_footer(os, run_obs, obs_config);
+    obs::write_run_footer(file.stream(), run_obs, obs_config);
+    file.commit();
     std::printf("knowledge series written to %s\n", csv.c_str());
   }
   return 0;
@@ -180,8 +182,7 @@ int run_routing(Options& opts) {
         ts.latency.count() ? ts.latency.mean() : 0.0);
   }
   if (!csv.empty()) {
-    std::ofstream os(csv);
-    AGENTNET_REQUIRE(os.is_open(), "cannot write " + csv);
+    AtomicFileWriter file(csv);
     std::vector<std::string> names{"connectivity_mean", "connectivity_sd"};
     std::vector<std::vector<double>> series{summary.connectivity.mean(),
                                             summary.connectivity.stddev()};
@@ -189,8 +190,9 @@ int run_routing(Options& opts) {
       names.push_back("oracle_mean");
       series.push_back(summary.oracle.mean());
     }
-    write_series_csv(os, names, series);
-    obs::write_run_footer(os, run_obs, obs_config);
+    write_series_csv(file.stream(), names, series);
+    obs::write_run_footer(file.stream(), run_obs, obs_config);
+    file.commit();
     std::printf("connectivity series written to %s\n", csv.c_str());
   }
   return 0;
@@ -215,11 +217,20 @@ int run_aco(Options& opts) {
   obs_config.sink = &run_obs;
   std::vector<obs::RunObs> slots(static_cast<std::size_t>(runs));
   obs::enable_slots(slots, obs_config);
+  const auto checkpointer = snapshot::ExperimentCheckpointer::from_env(
+      {"aco", static_cast<std::uint64_t>(runs), paper::kRunSeedBase,
+       scenario.node_count(), task.steps});
   RunningStats conn, mb;
   for (int r = 0; r < runs; ++r) {
     obs::ObsRunScope scope(slots[static_cast<std::size_t>(r)]);
+    AntRoutingTaskConfig run_config = task;
+    snapshot::RunCheckpointPort port;
+    if (checkpointer) {
+      port = checkpointer->port(static_cast<std::uint64_t>(r));
+      run_config.checkpoint = &port;
+    }
     const auto result = run_ant_routing_task(
-        scenario, task,
+        scenario, run_config,
         Rng(paper::kRunSeedBase + static_cast<std::uint64_t>(r)));
     conn.add(result.mean_connectivity);
     mb.add(static_cast<double>(result.control_bytes) / 1e6);
@@ -304,10 +315,19 @@ int run_dv(Options& opts) {
   opts.finish();
 
   const RoutingScenario scenario(scenario_params, seed);
+  const auto checkpointer = snapshot::ExperimentCheckpointer::from_env(
+      {"dv", static_cast<std::uint64_t>(runs), paper::kRunSeedBase,
+       scenario.node_count(), task.steps});
   RunningStats conn, mb;
   for (int r = 0; r < runs; ++r) {
+    DvRoutingTaskConfig run_config = task;
+    snapshot::RunCheckpointPort port;
+    if (checkpointer) {
+      port = checkpointer->port(static_cast<std::uint64_t>(r));
+      run_config.checkpoint = &port;
+    }
     const auto result = run_dv_routing_task(
-        scenario, task,
+        scenario, run_config,
         Rng(paper::kRunSeedBase + static_cast<std::uint64_t>(r)));
     conn.add(result.mean_connectivity);
     mb.add(static_cast<double>(result.migration_bytes) / 1e6);

@@ -23,6 +23,7 @@
 #include "common/rng.hpp"
 #include "net/graph.hpp"
 #include "routing/routing_table.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet {
 
@@ -105,6 +106,49 @@ class AntRoutingSystem {
   std::size_t ants_completed() const { return ants_completed_; }
 
   const AntRoutingConfig& config() const { return config_; }
+
+  /// Checkpoint support: pheromone rows, in-flight ants, RNG and the
+  /// cumulative overhead counters; config and gateway mask are rebuilt
+  /// from the task config.
+  void save_state(snapshot::ByteWriter& w) const {
+    w.size(pheromone_.size());
+    for (const auto& row : pheromone_)
+      row.save_state(
+          w, [](snapshot::ByteWriter& out, double v) { out.f64(v); });
+    w.size(ants_.size());
+    for (const Ant& ant : ants_) {
+      w.pod_vec(ant.path);
+      w.size(ant.position);
+      w.boolean(ant.backward);
+      w.f64(ant.trip_time);
+    }
+    rng_.save_state(w);
+    w.size(ant_hops_);
+    w.size(control_bytes_);
+    w.size(ants_launched_);
+    w.size(ants_completed_);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    const std::size_t rows = r.size();
+    AGENTNET_REQUIRE(rows == pheromone_.size(),
+                     "snapshot: pheromone row count mismatch");
+    for (auto& row : pheromone_)
+      row.load_state(
+          r, [](snapshot::ByteReader& in, double& v) { v = in.f64(); });
+    const std::size_t n = r.counted(8);
+    ants_.resize(n);
+    for (Ant& ant : ants_) {
+      r.pod_vec(ant.path);
+      ant.position = r.size();
+      ant.backward = r.boolean();
+      ant.trip_time = r.f64();
+    }
+    rng_.load_state(r);
+    ant_hops_ = r.size();
+    control_bytes_ = r.size();
+    ants_launched_ = r.size();
+    ants_completed_ = r.size();
+  }
 
  private:
   struct Ant {

@@ -6,6 +6,7 @@
 #include "fault/fault_injector.hpp"
 #include "obs/obs.hpp"
 #include "routing/connectivity.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace agentnet {
 
@@ -36,8 +37,35 @@ AntRoutingResult run_ant_routing_task(const RoutingScenario& scenario,
   // Keyed on (world epoch, snapshot contents): skips the walk when neither
   // the edge set nor the pheromone-derived tables changed since last step.
   ConnectivityCache conn_cache;
+
+  // Checkpoint/restore: the colony, the world, the fault mask and the
+  // measurement cache. The run RNG is not carried — the colony copied it at
+  // construction and nothing draws from the local after setup.
+  const auto save_run = [&](snapshot::ByteWriter& w) {
+    world.save_state(w);
+    w.boolean(injector.has_value());
+    if (injector) injector->save_state(w);
+    ants.save_state(w);
+    conn_cache.save_state(w);
+    w.pod_vec(result.connectivity);
+  };
+  const auto load_run = [&](snapshot::ByteReader& r) {
+    world.load_state(r);
+    AGENTNET_REQUIRE(r.boolean() == injector.has_value(),
+                     "snapshot: fault plan mismatch");
+    if (injector) injector->load_state(r);
+    ants.load_state(r);
+    conn_cache.load_state(r);
+    r.pod_vec(result.connectivity);
+  };
+
   setup_phase.stop();
-  for (std::size_t t = 0; t < config.steps; ++t) {
+  std::size_t resume_at = 0;
+  if (config.checkpoint && config.checkpoint->resuming())
+    resume_at = config.checkpoint->restore(load_run);
+  for (std::size_t t = resume_at; t < config.steps; ++t) {
+    if (config.checkpoint && config.checkpoint->save_due(t))
+      config.checkpoint->save(t, save_run);
     {
       AGENTNET_OBS_PHASE(kStep);
       const Graph& live =

@@ -16,6 +16,9 @@ struct AntRoutingTaskConfig {
   /// the graph the ants walk and the measurement sees; the plan's
   /// agent_loss_probability maps onto ant loss unless `ants` sets its own.
   FaultPlan faults;
+  /// Checkpoint/restore handle for this run (nullptr = disabled). Owned by
+  /// the caller; see snapshot/snapshot.hpp and docs/ROBUSTNESS.md.
+  snapshot::RunCheckpointPort* checkpoint = nullptr;
 };
 
 AntRoutingResult run_ant_routing_task(const RoutingScenario& scenario,

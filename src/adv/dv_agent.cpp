@@ -8,6 +8,7 @@
 #include "fault/fault_injector.hpp"
 #include "obs/obs.hpp"
 #include "routing/connectivity.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace agentnet {
 
@@ -138,8 +139,50 @@ DvRoutingTaskResult run_dv_routing_task(const RoutingScenario& scenario,
   // Keyed on (world epoch, table contents): skips the walk when neither
   // the edge set nor the tables changed since the last measurement.
   ConnectivityCache conn_cache;
+
+  // Checkpoint/restore: agents are homogeneous (config.agent, no respawn
+  // path), so only their evolving state is carried. The run RNG is not —
+  // nothing draws from the local after setup.
+  const auto save_run = [&](snapshot::ByteWriter& w) {
+    world.save_state(w);
+    tables.save_state(w);
+    w.boolean(injector.has_value());
+    if (injector) injector->save_state(w);
+    w.size(agents.size());
+    for (const DvAgent& agent : agents) agent.save_state(w);
+    conn_cache.save_state(w);
+    w.pod_vec(result.connectivity);
+    w.size(result.migration_bytes);
+    w.size(result.agents_lost);
+  };
+  const auto load_run = [&](snapshot::ByteReader& r) {
+    world.load_state(r);
+    tables.load_state(r);
+    AGENTNET_REQUIRE(r.boolean() == injector.has_value(),
+                     "snapshot: fault plan mismatch");
+    if (injector) injector->load_state(r);
+    const std::size_t live = r.counted(8);
+    AGENTNET_REQUIRE(live <= static_cast<std::size_t>(config.population),
+                     "snapshot: population exceeds configuration");
+    agents.clear();
+    agents.reserve(live);
+    for (std::size_t i = 0; i < live; ++i) {
+      agents.emplace_back(0, NodeId{0}, config.agent, Rng(0));
+      agents.back().load_state(r);
+    }
+    conn_cache.load_state(r);
+    r.pod_vec(result.connectivity);
+    result.migration_bytes = r.size();
+    result.agents_lost = r.size();
+  };
+
   setup_phase.stop();
-  for (std::size_t t = 0; t < config.steps; ++t) {
+  std::size_t resume_at = 0;
+  if (config.checkpoint && config.checkpoint->resuming())
+    resume_at = config.checkpoint->restore(load_run);
+  for (std::size_t t = resume_at; t < config.steps; ++t) {
+    if (config.checkpoint && config.checkpoint->save_due(t))
+      config.checkpoint->save(t, save_run);
     AGENTNET_OBS_PHASE(kStep);
     const Graph& live =
         injector ? injector->live_graph(world, world.step()) : world.graph();

@@ -21,6 +21,7 @@
 #include "core/selection.hpp"
 #include "net/graph.hpp"
 #include "routing/routing_table.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet {
 
@@ -74,6 +75,27 @@ class DvAgent {
     return 64 + 16 * table_.size();
   }
 
+  /// Checkpoint support: id, location, carried table and RNG; config is
+  /// rebuilt from the task config.
+  void save_state(snapshot::ByteWriter& w) const {
+    w.scalar(id_);
+    w.scalar(location_);
+    table_.save_state(w, [](snapshot::ByteWriter& out, const DvEntry& e) {
+      out.scalar(e.distance);
+      out.size(e.updated);
+    });
+    rng_.save_state(w);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    id_ = r.scalar<int>();
+    location_ = r.scalar<NodeId>();
+    table_.load_state(r, [](snapshot::ByteReader& in, DvEntry& e) {
+      e.distance = in.scalar<std::uint32_t>();
+      e.updated = in.size();
+    });
+    rng_.load_state(r);
+  }
+
  private:
   void trim(std::size_t now);
 
@@ -94,6 +116,9 @@ struct DvRoutingTaskConfig {
   /// the graph agents walk and the measurement sees; agent_loss_probability
   /// kills migrating DV agents in transit.
   FaultPlan faults;
+  /// Checkpoint/restore handle for this run (nullptr = disabled). Owned by
+  /// the caller; see snapshot/snapshot.hpp and docs/ROBUSTNESS.md.
+  snapshot::RunCheckpointPort* checkpoint = nullptr;
 };
 
 struct DvRoutingTaskResult {

@@ -1,0 +1,62 @@
+// Crash-safe file writes: stream into `<path>.tmp`, then atomically rename
+// over the target on commit(). A crash (or an exception) mid-write leaves
+// the previous file intact and at worst a stale `.tmp` beside it — never a
+// torn artefact at the target path. commit() also flushes and checks the
+// stream, so disk-full / permission errors fail with a ConfigError naming
+// the path instead of silently truncating output.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <ios>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace agentnet {
+
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path,
+                            std::ios::openmode mode = std::ios::out)
+      : path_(std::move(path)), tmp_(path_ + ".tmp") {
+    os_.open(tmp_, mode | std::ios::trunc);
+    AGENTNET_REQUIRE(os_.is_open(), "cannot open for writing: " + tmp_);
+  }
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  ~AtomicFileWriter() {
+    // Abandoned (an exception unwound before commit): drop the partial
+    // temp file so it cannot be mistaken for a finished artefact.
+    if (!committed_) {
+      os_.close();
+      std::remove(tmp_.c_str());
+    }
+  }
+
+  std::ostream& stream() { return os_; }
+  const std::string& path() const { return path_; }
+
+  /// Flushes, verifies the stream, closes, and renames the temp file over
+  /// the target. Throws ConfigError (leaving the old target untouched) on
+  /// any failure.
+  void commit() {
+    os_.flush();
+    AGENTNET_REQUIRE(os_.good(), "write failed (disk full?): " + tmp_);
+    os_.close();
+    AGENTNET_REQUIRE(!os_.fail(), "close failed: " + tmp_);
+    AGENTNET_REQUIRE(std::rename(tmp_.c_str(), path_.c_str()) == 0,
+                     "cannot rename " + tmp_ + " to " + path_);
+    committed_ = true;
+  }
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  std::ofstream os_;
+  bool committed_ = false;
+};
+
+}  // namespace agentnet

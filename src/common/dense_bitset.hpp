@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet {
 
@@ -84,6 +85,22 @@ class DenseBitset {
   }
 
   friend bool operator==(const DenseBitset&, const DenseBitset&) = default;
+
+  /// Checkpoint support. load_state recomputes the popcount rather than
+  /// trusting the stream, so a corrupted word can never desync count().
+  void save_state(snapshot::ByteWriter& w) const {
+    w.size(bit_count_);
+    w.pod_vec(words_);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    bit_count_ = r.size();
+    r.pod_vec(words_);
+    AGENTNET_REQUIRE(words_.size() == (bit_count_ + 63) / 64,
+                     "snapshot: bitset word count mismatch");
+    count_ = 0;
+    for (std::uint64_t w64 : words_)
+      count_ += static_cast<std::size_t>(std::popcount(w64));
+  }
 
  private:
   std::size_t bit_count_ = 0;

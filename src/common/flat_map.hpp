@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet {
 
@@ -110,6 +111,32 @@ class FlatMap {
   }
 
   friend bool operator==(const FlatMap&, const FlatMap&) = default;
+
+  /// Checkpoint support. Keys (integral) go through scalar(); the caller
+  /// supplies the value codec. load_state enforces strictly-ascending key
+  /// order so a tampered stream cannot break the binary-search invariant.
+  template <class WriteValueFn>
+  void save_state(snapshot::ByteWriter& w, WriteValueFn&& write_value) const {
+    w.size(entries_.size());
+    for (const auto& [key, value] : entries_) {
+      w.scalar(key);
+      write_value(w, value);
+    }
+  }
+  template <class ReadValueFn>
+  void load_state(snapshot::ByteReader& r, ReadValueFn&& read_value) {
+    const std::size_t n = r.counted(8);
+    entries_.clear();
+    entries_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Key key = r.template scalar<Key>();
+      AGENTNET_REQUIRE(entries_.empty() || entries_.back().first < key,
+                       "snapshot: FlatMap keys not strictly ascending");
+      Value value{};
+      read_value(r, value);
+      entries_.emplace_back(std::move(key), std::move(value));
+    }
+  }
 
  private:
   std::vector<value_type> entries_;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet {
 
@@ -128,6 +129,20 @@ class Rng {
 
   /// Sample k distinct indices from [0, n) without replacement.
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Checkpoint support: the full generator state — the four state words
+  /// plus the polar method's cached spare — so a restored stream continues
+  /// the exact sequence it was saved mid-way through.
+  void save_state(snapshot::ByteWriter& w) const {
+    for (std::uint64_t word : s_) w.u64(word);
+    w.boolean(have_spare_normal_);
+    w.f64(spare_normal_);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    for (std::uint64_t& word : s_) word = r.u64();
+    have_spare_normal_ = r.boolean();
+    spare_normal_ = r.f64();
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

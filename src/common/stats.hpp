@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet {
 
@@ -27,6 +28,23 @@ class RunningStats {
   double stderr_mean() const;
   double min() const;
   double max() const;
+
+  /// Checkpoint support: the exact accumulator bits, so a restored stream
+  /// of add() calls produces bit-identical statistics.
+  void save_state(snapshot::ByteWriter& w) const {
+    w.size(count_);
+    w.f64(mean_);
+    w.f64(m2_);
+    w.f64(min_);
+    w.f64(max_);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    count_ = r.size();
+    mean_ = r.f64();
+    m2_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
+  }
 
  private:
   std::size_t count_ = 0;

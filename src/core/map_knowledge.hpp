@@ -13,6 +13,7 @@
 #include "common/dense_bitset.hpp"
 #include "core/selection.hpp"
 #include "net/graph.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet {
 
@@ -85,6 +86,37 @@ class MapKnowledge {
   /// agent should be small in size"); tasks meter migration traffic with
   /// this.
   std::size_t serialized_size_bytes() const;
+
+  /// Checkpoint support: both hands, the combined set, visit times and the
+  /// expiry-epoch bookkeeping.
+  void save_state(snapshot::ByteWriter& w) const {
+    w.size(node_count_);
+    first_hand_.save_state(w);
+    second_hand_.save_state(w);
+    combined_.save_state(w);
+    w.pod_vec(first_hand_visit_);
+    w.pod_vec(any_visit_);
+    w.boolean(expiry_enabled_);
+    w.size(last_rotation_);
+    second_recent_.save_state(w);
+    w.pod_vec(learned_visit_prev_);
+    w.pod_vec(learned_visit_recent_);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    const std::size_t n = r.size();
+    AGENTNET_REQUIRE(n == node_count_,
+                     "snapshot: map knowledge node count mismatch");
+    first_hand_.load_state(r);
+    second_hand_.load_state(r);
+    combined_.load_state(r);
+    r.pod_vec(first_hand_visit_);
+    r.pod_vec(any_visit_);
+    expiry_enabled_ = r.boolean();
+    last_rotation_ = r.size();
+    second_recent_.load_state(r);
+    r.pod_vec(learned_visit_prev_);
+    r.pod_vec(learned_visit_recent_);
+  }
 
  private:
   std::size_t bit_index(NodeId u, NodeId v) const {

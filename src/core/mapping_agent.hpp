@@ -76,6 +76,21 @@ class MappingAgent {
     knowledge_.learn_from(peer.knowledge_);
   }
 
+  /// Checkpoint support: id, location, knowledge and RNG; the config is
+  /// reconstructed from the task config on resume.
+  void save_state(snapshot::ByteWriter& w) const {
+    w.scalar(id_);
+    w.scalar(location_);
+    knowledge_.save_state(w);
+    rng_.save_state(w);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    id_ = r.scalar<int>();
+    location_ = r.scalar<NodeId>();
+    knowledge_.load_state(r);
+    rng_.load_state(r);
+  }
+
  private:
   int id_;
   NodeId location_;

@@ -10,6 +10,7 @@
 #include "fault/fault_injector.hpp"
 #include "fault/watchdog.hpp"
 #include "obs/obs.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace agentnet {
 
@@ -215,8 +216,72 @@ MappingTaskResult run_mapping_task(World& world,
            static_cast<double>(truth.edge_count());
   };
 
+  // Checkpoint/restore. Mapping agents are reconstructed from the roster
+  // (every recovery path uses roster[slot], so slot_of determines each
+  // agent's config); the decide-order permutation is carried because it is
+  // persistent — reshuffled in place, not rebuilt per step.
+  const auto save_run = [&](snapshot::ByteWriter& w) {
+    rng.save_state(w);
+    world.save_state(w);
+    board.save_state(w);
+    w.boolean(injector.has_value());
+    if (injector) injector->save_state(w);
+    watchdog.save_state(w);
+    w.pod_vec(slot_of);
+    w.scalar(next_agent_id);
+    w.pod_vec(decide_order);
+    w.size(agents.size());
+    for (const MappingAgent& agent : agents) agent.save_state(w);
+    monitor_map.save_state(w);
+    w.f64(result.monitor_completeness);
+    w.boolean(result.monitor_finished);
+    w.size(result.monitor_finishing_time);
+    w.pod_vec(result.mean_knowledge);
+    w.pod_vec(result.min_knowledge);
+    w.size(result.migration_bytes);
+    w.size(result.agents_lost);
+    w.size(result.agents_respawned);
+  };
+  const auto load_run = [&](snapshot::ByteReader& r) {
+    rng.load_state(r);
+    world.load_state(r);
+    board.load_state(r);
+    AGENTNET_REQUIRE(r.boolean() == injector.has_value(),
+                     "snapshot: fault plan mismatch");
+    if (injector) injector->load_state(r);
+    watchdog.load_state(r);
+    r.pod_vec(slot_of);
+    next_agent_id = r.scalar<int>();
+    r.pod_vec(decide_order);
+    const std::size_t live = r.counted(8);
+    AGENTNET_REQUIRE(live == slot_of.size(),
+                     "snapshot: roster slot map size mismatch");
+    agents.clear();
+    agents.reserve(live);
+    for (std::size_t i = 0; i < live; ++i) {
+      AGENTNET_REQUIRE(slot_of[i] < roster.size(),
+                       "snapshot: roster slot out of range");
+      agents.emplace_back(0, NodeId{0}, n, roster[slot_of[i]], Rng(0));
+      agents.back().load_state(r);
+    }
+    monitor_map.load_state(r);
+    result.monitor_completeness = r.f64();
+    result.monitor_finished = r.boolean();
+    result.monitor_finishing_time = r.size();
+    r.pod_vec(result.mean_knowledge);
+    r.pod_vec(result.min_knowledge);
+    result.migration_bytes = r.size();
+    result.agents_lost = r.size();
+    result.agents_respawned = r.size();
+  };
+
   setup_phase.stop();
-  for (std::size_t t = 0; t <= config.max_steps; ++t) {
+  std::size_t resume_at = 0;
+  if (config.checkpoint && config.checkpoint->resuming())
+    resume_at = config.checkpoint->restore(load_run);
+  for (std::size_t t = resume_at; t <= config.max_steps; ++t) {
+    if (config.checkpoint && config.checkpoint->save_due(t))
+      config.checkpoint->save(t, save_run);
     AGENTNET_OBS_PHASE(kStep);
     // The fault-masked view of this step's topology. Frozen mapping worlds
     // never advance their own clock, so the weather keys on the task step.

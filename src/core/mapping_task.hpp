@@ -17,6 +17,10 @@
 
 namespace agentnet {
 
+namespace snapshot {
+class RunCheckpointPort;
+}
+
 struct MappingTaskConfig {
   int population = 1;
   MappingAgentConfig agent;
@@ -64,6 +68,9 @@ struct MappingTaskConfig {
   /// the task on exactly its historical fault-free path — it draws nothing
   /// extra from the run RNG. See fault/fault_plan.hpp, docs/ROBUSTNESS.md.
   FaultPlan faults;
+  /// Checkpoint/restore handle for this run (nullptr = disabled). Owned by
+  /// the caller; see snapshot/snapshot.hpp and docs/ROBUSTNESS.md.
+  snapshot::RunCheckpointPort* checkpoint = nullptr;
 };
 
 struct MappingTaskResult {

@@ -101,6 +101,31 @@ class RoutingAgent {
     return 64 + 12 * history_.size() + (hint_.valid() ? 16 : 0);
   }
 
+  /// Checkpoint support: id, location, history, hint and RNG. The config
+  /// is not carried — a restored roster is rebuilt from the task config.
+  void save_state(snapshot::ByteWriter& w) const {
+    w.scalar(id_);
+    w.scalar(location_);
+    history_.save_state(
+        w, [](snapshot::ByteWriter& out, std::size_t v) { out.size(v); });
+    w.scalar(hint_.gateway);
+    w.scalar(hint_.hops);
+    w.scalar(hint_.next_hop);
+    w.size(hint_.updated);
+    rng_.save_state(w);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    id_ = r.scalar<int>();
+    location_ = r.scalar<NodeId>();
+    history_.load_state(
+        r, [](snapshot::ByteReader& in, std::size_t& v) { v = in.size(); });
+    hint_.gateway = r.scalar<NodeId>();
+    hint_.hops = r.scalar<std::uint32_t>();
+    hint_.next_hop = r.scalar<NodeId>();
+    hint_.updated = r.size();
+    rng_.load_state(r);
+  }
+
  private:
   void remember_visit(NodeId node, std::size_t now);
   void trim_history();

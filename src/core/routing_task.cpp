@@ -9,6 +9,7 @@
 #include "fault/fault_injector.hpp"
 #include "fault/watchdog.hpp"
 #include "obs/obs.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace agentnet {
 
@@ -320,8 +321,84 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
   const std::size_t target_population = roster.size();
   int next_agent_id = static_cast<int>(target_population);
 
+  // Checkpoint/restore: everything the loop evolves, in a fixed order.
+  // Config-derived data (scenario, roster, gateway masks) is rebuilt by the
+  // setup above and not carried; each agent's config IS carried because a
+  // live agent's template depends on its recovery history, not its slot.
+  const auto save_run = [&](snapshot::ByteWriter& w) {
+    rng.save_state(w);
+    world.save_state(w);
+    tables.save_state(w);
+    board.save_state(w);
+    injector.save_state(w);
+    conn_cache.save_state(w);
+    oracle_cache.save_state(w);
+    watchdog.save_state(w);
+    w.pod_vec(slot_of);
+    w.scalar(next_agent_id);
+    w.size(agents.size());
+    for (const RoutingAgent& agent : agents) {
+      const RoutingAgentConfig& ac = agent.config();
+      w.scalar(ac.policy);
+      w.size(ac.history_size);
+      w.boolean(ac.communicate);
+      w.scalar(ac.stigmergy);
+      agent.save_state(w);
+    }
+    w.boolean(traffic.has_value());
+    if (traffic) traffic->save_state(w);
+    w.pod_vec(result.connectivity);
+    w.pod_vec(result.oracle);
+    w.size(result.migration_bytes);
+    w.size(result.agents_lost);
+    w.size(result.agents_respawned);
+  };
+  const auto load_run = [&](snapshot::ByteReader& r) {
+    rng.load_state(r);
+    world.load_state(r);
+    tables.load_state(r);
+    board.load_state(r);
+    injector.load_state(r);
+    conn_cache.load_state(r);
+    oracle_cache.load_state(r);
+    watchdog.load_state(r);
+    r.pod_vec(slot_of);
+    next_agent_id = r.scalar<int>();
+    const std::size_t live = r.counted(8);
+    agents.clear();
+    agents.reserve(live);
+    for (std::size_t i = 0; i < live; ++i) {
+      RoutingAgentConfig ac;
+      ac.policy = r.scalar<RoutingPolicy>();
+      AGENTNET_REQUIRE(ac.policy <= RoutingPolicy::kOldestNode,
+                       "snapshot: bad routing policy");
+      ac.history_size = r.size();
+      ac.communicate = r.boolean();
+      ac.stigmergy = r.scalar<StigmergyMode>();
+      AGENTNET_REQUIRE(ac.stigmergy <= StigmergyMode::kTieBreak,
+                       "snapshot: bad stigmergy mode");
+      agents.emplace_back(0, NodeId{0}, ac, Rng(0));
+      agents.back().load_state(r);
+    }
+    AGENTNET_REQUIRE(slot_of.size() == agents.size(),
+                     "snapshot: roster slot map size mismatch");
+    AGENTNET_REQUIRE(r.boolean() == traffic.has_value(),
+                     "snapshot: traffic configuration mismatch");
+    if (traffic) traffic->load_state(r);
+    r.pod_vec(result.connectivity);
+    r.pod_vec(result.oracle);
+    result.migration_bytes = r.size();
+    result.agents_lost = r.size();
+    result.agents_respawned = r.size();
+  };
+
   setup_phase.stop();
-  for (std::size_t t = 0; t < config.steps; ++t) {
+  std::size_t resume_at = 0;
+  if (config.checkpoint && config.checkpoint->resuming())
+    resume_at = config.checkpoint->restore(load_run);
+  for (std::size_t t = resume_at; t < config.steps; ++t) {
+    if (config.checkpoint && config.checkpoint->save_due(t))
+      config.checkpoint->save(t, save_run);
     AGENTNET_OBS_PHASE(kStep);
     // Refresh the topology-fault mask for this step. Without topology
     // faults this returns immediately; with them it is cached, so the

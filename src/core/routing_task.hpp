@@ -28,6 +28,10 @@
 
 namespace agentnet {
 
+namespace snapshot {
+class RunCheckpointPort;
+}
+
 /// Where the stationary, high-capability gateways sit.
 enum class GatewayPlacement {
   kRandom,  ///< Uniformly among the nodes (the default assumption).
@@ -130,6 +134,9 @@ struct RoutingTaskConfig {
   /// results to the original implementation. Prefer `faults`.
   double agent_loss_probability = 0.0;
   double gateway_respawn_probability = 0.0;
+  /// Checkpoint/restore handle for this run (nullptr = disabled). Owned by
+  /// the caller; see snapshot/snapshot.hpp and docs/ROBUSTNESS.md.
+  snapshot::RunCheckpointPort* checkpoint = nullptr;
 };
 
 struct RoutingTaskResult {

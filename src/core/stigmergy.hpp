@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/graph.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet {
 
@@ -43,6 +44,32 @@ class StigmergyBoard {
   std::size_t footprint_count(NodeId at, std::size_t now) const;
 
   void clear();
+
+  /// Checkpoint support: every node's footprint list, in stored order
+  /// (eviction order matters — the oldest footprint goes first).
+  void save_state(snapshot::ByteWriter& w) const {
+    w.size(boards_.size());
+    for (const auto& board : boards_) {
+      w.size(board.size());
+      for (const Footprint& fp : board) {
+        w.scalar(fp.target);
+        w.size(fp.step);
+      }
+    }
+  }
+  void load_state(snapshot::ByteReader& r) {
+    const std::size_t n = r.counted(8);
+    AGENTNET_REQUIRE(n == boards_.size(),
+                     "snapshot: stigmergy board count mismatch");
+    for (auto& board : boards_) {
+      const std::size_t m = r.counted(16);
+      board.resize(m);
+      for (Footprint& fp : board) {
+        fp.target = r.scalar<NodeId>();
+        fp.step = r.size();
+      }
+    }
+  }
 
  private:
   struct Footprint {

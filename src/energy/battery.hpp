@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet {
 
@@ -33,6 +34,11 @@ class Battery {
   bool depleted() const { return charge_ <= 0.0; }
   const BatteryParams& params() const { return params_; }
 
+  /// Checkpoint support: only the charge — params are config-derived and
+  /// already in place when a checkpoint is restored.
+  void save_state(snapshot::ByteWriter& w) const { w.f64(charge_); }
+  void load_state(snapshot::ByteReader& r) { charge_ = r.f64(); }
+
  private:
   BatteryParams params_{};
   double charge_ = 1.0;
@@ -52,6 +58,21 @@ class BatteryBank {
   /// Remaining fraction for `node`; mains-powered nodes report 1.0 forever.
   double fraction(std::size_t node) const;
   const Battery& battery(std::size_t node) const;
+
+  /// Checkpoint support: per-node charges and the step counter. The
+  /// on-battery mask is config-derived and not carried.
+  void save_state(snapshot::ByteWriter& w) const {
+    w.size(batteries_.size());
+    for (const Battery& b : batteries_) b.save_state(w);
+    w.size(tick_);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    const std::size_t n = r.counted(8);
+    AGENTNET_REQUIRE(n == batteries_.size(),
+                     "snapshot: battery count mismatch");
+    for (Battery& b : batteries_) b.load_state(r);
+    tick_ = r.size();
+  }
 
  private:
   std::vector<Battery> batteries_;

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/parallel_for.hpp"
 #include "sim/world.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace agentnet {
 
@@ -29,14 +30,24 @@ MappingSummary run_mapping_experiment(const GeneratedNetwork& network,
 
   // Fan the replications out: run r is a pure function of (task, seed + r)
   // and writes only its own slot, so execution order is irrelevant.
+  const auto checkpointer = snapshot::ExperimentCheckpointer::from_env(
+      {"mapping", static_cast<std::uint64_t>(runs), run_seed_base,
+       network.graph.node_count(), effective.max_steps});
+
   std::vector<MappingTaskResult> results(static_cast<std::size_t>(runs));
   parallel_for(
       results.size(),
       [&](std::size_t r) {
         obs::ObsRunScope scope(slots[r]);
         World world = World::frozen(network);
+        MappingTaskConfig run_config = effective;
+        snapshot::RunCheckpointPort port;
+        if (checkpointer) {
+          port = checkpointer->port(r);
+          run_config.checkpoint = &port;
+        }
         results[r] = run_mapping_task(
-            world, effective,
+            world, run_config,
             Rng(run_seed_base + static_cast<std::uint64_t>(r)));
       },
       static_cast<std::size_t>(threads));

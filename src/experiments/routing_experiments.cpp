@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel_for.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace agentnet {
 
@@ -27,13 +28,23 @@ RoutingSummary run_routing_experiment(const RoutingScenario& scenario,
   // Fan the replications out: run r is a pure function of (scenario, task,
   // seed + r) and writes only its own slot (the scenario is immutable and
   // each task stamps out its own World).
+  const auto checkpointer = snapshot::ExperimentCheckpointer::from_env(
+      {"routing", static_cast<std::uint64_t>(runs), run_seed_base,
+       scenario.node_count(), effective.steps});
+
   std::vector<RoutingTaskResult> results(static_cast<std::size_t>(runs));
   parallel_for(
       results.size(),
       [&](std::size_t r) {
         obs::ObsRunScope scope(slots[r]);
+        RoutingTaskConfig run_config = effective;
+        snapshot::RunCheckpointPort port;
+        if (checkpointer) {
+          port = checkpointer->port(r);
+          run_config.checkpoint = &port;
+        }
         results[r] = run_routing_task(
-            scenario, effective,
+            scenario, run_config,
             Rng(run_seed_base + static_cast<std::uint64_t>(r)));
       },
       static_cast<std::size_t>(threads));

@@ -7,6 +7,7 @@
 #include "common/parallel_for.hpp"
 #include "fault/fault_injector.hpp"
 #include "routing/connectivity.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace agentnet {
 
@@ -38,8 +39,39 @@ TrafficTaskResult run_traffic_task(const RoutingScenario& scenario,
                            config.balancer);
   ConnectivityCache conn_cache;
   RunningStats window;
+
+  // Checkpoint/restore: both planes, the balancer feedback, the fault mask
+  // and the measurement accumulators. Captured at the loop top, *before*
+  // the measure_from stats reset, so a resume at that step still resets.
+  const auto save_run = [&](snapshot::ByteWriter& w) {
+    world.save_state(w);
+    w.boolean(injector.has_value());
+    if (injector) injector->save_state(w);
+    ants.save_state(w);
+    traffic.save_state(w);
+    balancer.save_state(w);
+    conn_cache.save_state(w);
+    window.save_state(w);
+  };
+  const auto load_run = [&](snapshot::ByteReader& r) {
+    world.load_state(r);
+    AGENTNET_REQUIRE(r.boolean() == injector.has_value(),
+                     "snapshot: fault plan mismatch");
+    if (injector) injector->load_state(r);
+    ants.load_state(r);
+    traffic.load_state(r);
+    balancer.load_state(r);
+    conn_cache.load_state(r);
+    window.load_state(r);
+  };
+
   setup_phase.stop();
-  for (std::size_t t = 0; t < config.steps; ++t) {
+  std::size_t resume_at = 0;
+  if (config.checkpoint && config.checkpoint->resuming())
+    resume_at = config.checkpoint->restore(load_run);
+  for (std::size_t t = resume_at; t < config.steps; ++t) {
+    if (config.checkpoint && config.checkpoint->save_due(t))
+      config.checkpoint->save(t, save_run);
     if (t == config.measure_from) traffic.reset_stats();
     const Graph& live =
         injector ? injector->live_graph(world, world.step()) : world.graph();
@@ -121,13 +153,23 @@ TrafficSummary run_traffic_experiment(const RoutingScenario& scenario,
   std::vector<obs::RunObs> slots(static_cast<std::size_t>(runs));
   obs::enable_slots(slots, obs);
 
+  const auto checkpointer = snapshot::ExperimentCheckpointer::from_env(
+      {"traffic", static_cast<std::uint64_t>(runs), run_seed_base,
+       scenario.node_count(), effective.steps});
+
   std::vector<TrafficTaskResult> results(static_cast<std::size_t>(runs));
   parallel_for(
       results.size(),
       [&](std::size_t r) {
         obs::ObsRunScope scope(slots[r]);
+        TrafficTaskConfig run_config = effective;
+        snapshot::RunCheckpointPort port;
+        if (checkpointer) {
+          port = checkpointer->port(r);
+          run_config.checkpoint = &port;
+        }
         results[r] = run_traffic_task(
-            scenario, effective,
+            scenario, run_config,
             Rng(run_seed_base + static_cast<std::uint64_t>(r)));
       },
       static_cast<std::size_t>(threads));

@@ -36,6 +36,9 @@ struct TrafficTaskConfig {
   std::size_t measure_from = 150;
   /// Unified fault model, masking the graph both planes see.
   FaultPlan faults;
+  /// Checkpoint/restore handle for this run (nullptr = disabled). Owned by
+  /// the caller; see snapshot/snapshot.hpp and docs/ROBUSTNESS.md.
+  snapshot::RunCheckpointPort* checkpoint = nullptr;
 };
 
 struct TrafficTaskResult {

@@ -116,6 +116,41 @@ const Graph& FaultInjector::recompute_mask(const Graph& graph,
   return masked_;
 }
 
+void FaultInjector::save_state(snapshot::ByteWriter& w) const {
+  rng_.save_state(w);
+  w.boolean(have_mask_);
+  if (!have_mask_) return;
+  w.size(mask_step_);
+  masked_.save_state(w);
+  w.pod_vec(down_);
+  w.pod_vec(blackout_active_);
+  w.size(mask_drops_);
+  w.boolean(have_world_mask_);
+  w.u64(mask_epoch_);
+  w.u64(mask_state_epoch_);
+  w.u64(mask_crash_window_);
+  w.u64(mask_burst_window_);
+}
+
+void FaultInjector::load_state(snapshot::ByteReader& r) {
+  rng_.load_state(r);
+  have_mask_ = r.boolean();
+  if (!have_mask_) {
+    have_world_mask_ = false;
+    return;
+  }
+  mask_step_ = r.size();
+  masked_.load_state(r);
+  r.pod_vec(down_);
+  r.pod_vec(blackout_active_);
+  mask_drops_ = r.size();
+  have_world_mask_ = r.boolean();
+  mask_epoch_ = r.u64();
+  mask_state_epoch_ = r.u64();
+  mask_crash_window_ = r.u64();
+  mask_burst_window_ = r.u64();
+}
+
 const Graph& FaultInjector::live_graph(const Graph& graph,
                                        const std::vector<Vec2>& positions,
                                        std::size_t step) {

@@ -90,6 +90,15 @@ class FaultInjector {
     return node < down_.size() && down_[node] != 0;
   }
 
+  /// Checkpoint support: the event stream's RNG plus the complete mask
+  /// state — masked graph, down/blackout flags, cross-step cache keys.
+  /// The mask is carried verbatim (not recomputed) because the cached
+  /// live_graph() path re-emits its stored drop totals and compares cache
+  /// keys captured at the *previous* recompute; a freshly primed mask
+  /// would hit or miss that cache differently than the uninterrupted run.
+  void save_state(snapshot::ByteWriter& w) const;
+  void load_state(snapshot::ByteReader& r);
+
   /// Fraction of the first `n` nodes not down in the most recent
   /// live_graph() mask; 1.0 before the first call or without topology
   /// faults. The time-series kLiveFraction gauge.

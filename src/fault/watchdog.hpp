@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "snapshot/bytes.hpp"
+
 namespace agentnet {
 
 class AgentWatchdog {
@@ -33,6 +35,15 @@ class AgentWatchdog {
   /// True when `slot` has been silent for more than ttl steps.
   bool expired(std::size_t slot, std::size_t now) const {
     return ttl_ > 0 && now > last_beat_[slot] + ttl_;
+  }
+
+  /// Checkpoint support: per-slot heartbeat times (ttl is config-derived).
+  void save_state(snapshot::ByteWriter& w) const { w.pod_vec(last_beat_); }
+  void load_state(snapshot::ByteReader& r) {
+    const std::size_t slots = last_beat_.size();
+    r.pod_vec(last_beat_);
+    AGENTNET_REQUIRE(last_beat_.size() == slots,
+                     "snapshot: watchdog slot count mismatch");
   }
 
  private:

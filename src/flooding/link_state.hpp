@@ -18,6 +18,7 @@
 
 #include "common/flat_map.hpp"
 #include "net/graph.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet {
 
@@ -57,6 +58,52 @@ class LinkStateFlooding {
 
   std::size_t messages_sent() const { return messages_; }
   std::size_t bytes_sent() const { return bytes_; }
+
+  /// Checkpoint support: every node's LSA database, origination clocks,
+  /// the in-flight transmissions and the traffic totals.
+  void save_state(snapshot::ByteWriter& w) const {
+    w.size(databases_.size());
+    for (const auto& db : databases_)
+      db.save_state(w, [](snapshot::ByteWriter& out, const Lsa& lsa) {
+        out.scalar(lsa.origin);
+        out.u64(lsa.sequence);
+        out.pod_vec(lsa.neighbors);
+      });
+    w.pod_vec(own_sequence_);
+    w.pod_vec(last_origination_);
+    w.size(in_flight_.size());
+    for (const auto& [dest, lsa] : in_flight_) {
+      w.scalar(dest);
+      w.scalar(lsa.origin);
+      w.u64(lsa.sequence);
+      w.pod_vec(lsa.neighbors);
+    }
+    w.size(messages_);
+    w.size(bytes_);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    const std::size_t n = r.size();
+    AGENTNET_REQUIRE(n == databases_.size(),
+                     "snapshot: LSA database count mismatch");
+    for (auto& db : databases_)
+      db.load_state(r, [](snapshot::ByteReader& in, Lsa& lsa) {
+        lsa.origin = in.scalar<NodeId>();
+        lsa.sequence = in.u64();
+        in.pod_vec(lsa.neighbors);
+      });
+    r.pod_vec(own_sequence_);
+    r.pod_vec(last_origination_);
+    const std::size_t flights = r.counted(8);
+    in_flight_.resize(flights);
+    for (auto& [dest, lsa] : in_flight_) {
+      dest = r.scalar<NodeId>();
+      lsa.origin = r.scalar<NodeId>();
+      lsa.sequence = r.u64();
+      r.pod_vec(lsa.neighbors);
+    }
+    messages_ = r.size();
+    bytes_ = r.size();
+  }
 
  private:
   struct Lsa {

@@ -13,11 +13,17 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/error.hpp"
 
 namespace agentnet {
 
 namespace {
+
+// Sanity ceiling for counts read from a file: large enough for any real
+// scenario, small enough that a corrupted count line fails fast instead of
+// attempting a multi-gigabyte allocation.
+constexpr std::size_t kMaxFileNodes = 100'000'000;
 
 const char* policy_name(LinkPolicy policy) {
   switch (policy) {
@@ -38,17 +44,34 @@ LinkPolicy parse_policy(const std::string& name) {
   throw ConfigError("unknown link policy in network file: " + name);
 }
 
-/// Next non-comment, non-blank line; throws at EOF.
-std::string next_line(std::istream& is) {
-  std::string line;
-  while (std::getline(is, line)) {
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos) continue;
-    if (line[first] == '#') continue;
-    return line;
+/// Hands out non-comment, non-blank lines and remembers the 1-based line
+/// number of the last one, so every parse error can say where it happened.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  /// Next payload line; throws at EOF naming the last line seen.
+  std::string next(const char* expected) {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_no_;
+      const auto first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos) continue;
+      if (line[first] == '#') continue;
+      return line;
+    }
+    throw ConfigError("network file truncated after line " +
+                      std::to_string(line_no_) + " (expected " + expected +
+                      ")");
   }
-  throw ConfigError("unexpected end of network file");
-}
+
+  /// "line N" for the line last returned by next().
+  std::string where() const { return "line " + std::to_string(line_no_); }
+
+ private:
+  std::istream& is_;
+  std::size_t line_no_ = 0;
+};
 
 }  // namespace
 
@@ -69,72 +92,89 @@ void save_network(const GeneratedNetwork& net, std::ostream& os) {
 }
 
 GeneratedNetwork load_network(std::istream& is) {
+  // Every rejection names the offending line ("bad node line at line 7")
+  // so a hand-edited or truncated file can be fixed without bisection.
   GeneratedNetwork net;
+  LineReader reader(is);
   {
-    std::istringstream header(next_line(is));
+    std::istringstream header(reader.next("header"));
     std::string magic;
     int version = 0;
     header >> magic >> version;
     AGENTNET_REQUIRE(magic == "agentnet-network" && version == 1,
-                     "not an agentnet-network v1 file");
+                     "not an agentnet-network v1 file (at " +
+                         reader.where() + ")");
   }
   {
-    std::istringstream line(next_line(is));
+    std::istringstream line(reader.next("bounds"));
     std::string tag;
     line >> tag >> net.bounds.lo.x >> net.bounds.lo.y >> net.bounds.hi.x >>
         net.bounds.hi.y;
-    AGENTNET_REQUIRE(tag == "bounds" && !line.fail(), "bad bounds line");
+    AGENTNET_REQUIRE(tag == "bounds" && !line.fail(),
+                     "bad bounds line at " + reader.where());
     AGENTNET_REQUIRE(net.bounds.width() > 0 && net.bounds.height() > 0,
-                     "bounds must have positive area");
+                     "bounds must have positive area at " + reader.where());
   }
   {
-    std::istringstream line(next_line(is));
+    std::istringstream line(reader.next("policy"));
     std::string tag, name;
     line >> tag >> name;
-    AGENTNET_REQUIRE(tag == "policy" && !line.fail(), "bad policy line");
+    AGENTNET_REQUIRE(tag == "policy" && !line.fail(),
+                     "bad policy line at " + reader.where());
     net.policy = parse_policy(name);
   }
   std::size_t node_count = 0;
   {
-    std::istringstream line(next_line(is));
+    std::istringstream line(reader.next("node count"));
     std::string tag;
     line >> tag >> node_count;
     AGENTNET_REQUIRE(tag == "nodes" && !line.fail() && node_count > 0,
-                     "bad nodes line");
+                     "bad nodes line at " + reader.where());
+    // A corrupted count must not drive a giant allocation: every node
+    // still needs its own line in the stream, and positions/ranges cost
+    // 24 bytes each, so anything past ~100M nodes is garbage, not data.
+    AGENTNET_REQUIRE(node_count <= kMaxFileNodes,
+                     "implausible node count " + std::to_string(node_count) +
+                         " at " + reader.where());
   }
   net.positions.resize(node_count);
   net.base_ranges.resize(node_count);
   for (std::size_t i = 0; i < node_count; ++i) {
-    std::istringstream line(next_line(is));
+    std::istringstream line(reader.next("node record"));
     line >> net.positions[i].x >> net.positions[i].y >> net.base_ranges[i];
-    AGENTNET_REQUIRE(!line.fail(), "bad node line");
+    AGENTNET_REQUIRE(!line.fail(), "bad node line at " + reader.where());
     AGENTNET_REQUIRE(net.base_ranges[i] > 0.0,
-                     "node range must be positive");
+                     "node range must be positive at " + reader.where());
   }
   std::size_t edge_count = 0;
   {
-    std::istringstream line(next_line(is));
+    std::istringstream line(reader.next("edge count"));
     std::string tag;
     line >> tag >> edge_count;
-    AGENTNET_REQUIRE(tag == "edges" && !line.fail(), "bad edges line");
+    AGENTNET_REQUIRE(tag == "edges" && !line.fail(),
+                     "bad edges line at " + reader.where());
+    AGENTNET_REQUIRE(edge_count <= node_count * node_count,
+                     "implausible edge count " + std::to_string(edge_count) +
+                         " at " + reader.where());
   }
   net.graph = Graph(node_count);
   for (std::size_t i = 0; i < edge_count; ++i) {
-    std::istringstream line(next_line(is));
+    std::istringstream line(reader.next("edge record"));
     NodeId u = kInvalidNode, v = kInvalidNode;
     line >> u >> v;
     AGENTNET_REQUIRE(!line.fail() && u < node_count && v < node_count,
-                     "bad edge line");
+                     "bad edge line at " + reader.where());
     AGENTNET_REQUIRE(net.graph.add_edge(u, v),
-                     "duplicate or self-loop edge in network file");
+                     "duplicate or self-loop edge at " + reader.where());
   }
   return net;
 }
 
 void save_network_file(const GeneratedNetwork& net, const std::string& path) {
-  std::ofstream os(path);
-  AGENTNET_REQUIRE(os.is_open(), "cannot open for writing: " + path);
-  save_network(net, os);
+  // Temp-then-rename: a crash mid-save never leaves a torn network file.
+  AtomicFileWriter file(path);
+  save_network(net, file.stream());
+  file.commit();
 }
 
 GeneratedNetwork load_network_file(const std::string& path) {

@@ -17,6 +17,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/error.hpp"
 
 namespace agentnet {
@@ -213,9 +214,10 @@ RoutingScenario load_scenario(std::istream& is) {
 
 void save_scenario_file(const RoutingScenario& scenario,
                         const std::string& path) {
-  std::ofstream os(path);
-  AGENTNET_REQUIRE(os.is_open(), "cannot open for writing: " + path);
-  save_scenario(scenario, os);
+  // Temp-then-rename: a crash mid-save never leaves a torn scenario file.
+  AtomicFileWriter file(path);
+  save_scenario(scenario, file.stream());
+  file.commit();
 }
 
 RoutingScenario load_scenario_file(const std::string& path) {

@@ -14,6 +14,7 @@
 
 #include "common/rng.hpp"
 #include "geom/vec2.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet {
 
@@ -30,6 +31,13 @@ class MobilityModel {
 
   /// True if the model will never move `node`.
   virtual bool is_stationary(std::size_t node) const = 0;
+
+  /// Checkpoint support: per-node kinematic state and the model's RNG.
+  /// Config-derived members (bounds, mobile mask, params) are not carried —
+  /// the model is constructed normally before load_state overwrites the
+  /// evolving state. Stateless models keep the no-op default.
+  virtual void save_state(snapshot::ByteWriter&) const {}
+  virtual void load_state(snapshot::ByteReader&) {}
 };
 
 /// Nothing moves (the network-mapping scenario).
@@ -59,6 +67,28 @@ class RandomDirectionMobility final : public MobilityModel {
   bool is_stationary(std::size_t node) const override;
   double speed(std::size_t node) const;
 
+  void save_state(snapshot::ByteWriter& w) const override {
+    w.pod_vec(speeds_);
+    w.size(headings_.size());
+    for (const Vec2& h : headings_) {
+      w.f64(h.x);
+      w.f64(h.y);
+    }
+    rng_.save_state(w);
+    w.boolean(initialised_);
+  }
+  void load_state(snapshot::ByteReader& r) override {
+    r.pod_vec(speeds_);
+    const std::size_t n = r.counted(16);
+    headings_.resize(n);
+    for (Vec2& h : headings_) {
+      h.x = r.f64();
+      h.y = r.f64();
+    }
+    rng_.load_state(r);
+    initialised_ = r.boolean();
+  }
+
  private:
   Aabb bounds_;
   std::vector<bool> mobile_;
@@ -84,6 +114,30 @@ class RandomWaypointMobility final : public MobilityModel {
 
   void step(std::vector<Vec2>& positions) override;
   bool is_stationary(std::size_t node) const override;
+
+  void save_state(snapshot::ByteWriter& w) const override {
+    w.size(legs_.size());
+    for (const Leg& leg : legs_) {
+      w.f64(leg.target.x);
+      w.f64(leg.target.y);
+      w.f64(leg.speed);
+      w.scalar(leg.pause_left);
+      w.boolean(leg.active);
+    }
+    rng_.save_state(w);
+  }
+  void load_state(snapshot::ByteReader& r) override {
+    const std::size_t n = r.counted(3 * 8 + 8 + 1);
+    legs_.resize(n);
+    for (Leg& leg : legs_) {
+      leg.target.x = r.f64();
+      leg.target.y = r.f64();
+      leg.speed = r.f64();
+      leg.pause_left = r.scalar<int>();
+      leg.active = r.boolean();
+    }
+    rng_.load_state(r);
+  }
 
  private:
   struct Leg {
@@ -121,6 +175,17 @@ class GaussMarkovMobility final : public MobilityModel {
   void step(std::vector<Vec2>& positions) override;
   bool is_stationary(std::size_t node) const override;
 
+  void save_state(snapshot::ByteWriter& w) const override {
+    w.pod_vec(speeds_);
+    w.pod_vec(headings_);
+    rng_.save_state(w);
+  }
+  void load_state(snapshot::ByteReader& r) override {
+    r.pod_vec(speeds_);
+    r.pod_vec(headings_);
+    rng_.load_state(r);
+  }
+
  private:
   Aabb bounds_;
   std::vector<bool> mobile_;
@@ -151,6 +216,13 @@ class TraceMobility final : public MobilityModel {
   std::size_t frames() const { return frames_.size(); }
   const std::vector<Vec2>& frame(std::size_t i) const;
   const std::vector<Vec2>& initial() const { return initial_; }
+
+  /// Only the playback cursor — the recorded frames are reconstructed from
+  /// config (same model, same seed) before load_state runs.
+  void save_state(snapshot::ByteWriter& w) const override {
+    w.size(cursor_);
+  }
+  void load_state(snapshot::ByteReader& r) override { cursor_ = r.size(); }
 
  private:
   std::vector<Vec2> initial_;

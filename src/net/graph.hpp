@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet {
 
@@ -79,6 +80,28 @@ class Graph {
   void transposed_into(Graph& out) const;
 
   friend bool operator==(const Graph&, const Graph&) = default;
+
+  /// Checkpoint support: node count plus every adjacency row. load_state
+  /// re-derives edge_count_ from the rows and validates the strictly-
+  /// ascending, no-self-loop row invariant.
+  void save_state(snapshot::ByteWriter& w) const {
+    w.size(adjacency_.size());
+    for (const auto& row : adjacency_) w.pod_vec(row);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    const std::size_t n = r.counted(8);
+    reset(n);
+    std::vector<NodeId> row;
+    for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+      r.pod_vec(row);
+      for (std::size_t k = 0; k < row.size(); ++k) {
+        AGENTNET_REQUIRE(row[k] < n && row[k] != u &&
+                             (k == 0 || row[k - 1] < row[k]),
+                         "snapshot: malformed adjacency row");
+      }
+      assign_out_edges(u, row);
+    }
+  }
 
  private:
   void check_node(NodeId u) const {

@@ -7,6 +7,7 @@
 #include <charconv>
 #include <fstream>
 
+#include "common/atomic_file.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
 
@@ -273,10 +274,10 @@ std::optional<RunManifest> parse_manifest_json(const std::string& text,
 }
 
 void write_manifest(const std::string& path, const RunManifest& manifest) {
-  std::ofstream os(path, std::ios::trunc);
-  AGENTNET_REQUIRE(os.is_open(), "cannot write manifest file " + path);
-  os << manifest_json(manifest);
-  AGENTNET_REQUIRE(os.good(), "error while writing manifest file " + path);
+  // Temp-then-rename: a crash mid-write never leaves a torn manifest.
+  AtomicFileWriter file(path);
+  file.stream() << manifest_json(manifest);
+  file.commit();
 }
 
 void write_env_manifest(std::uint64_t seed, int runs, int threads) {

@@ -39,6 +39,8 @@ constexpr const char* kCounterNames[] = {
     "packets_generated",
     "packets_delivered",
     "packets_dropped",
+    "checkpoint_saved",
+    "checkpoint_restored",
 };
 static_assert(std::size(kCounterNames) == kCounterCount,
               "kCounterNames must name every Counter enumerator");
@@ -60,6 +62,9 @@ MetricsSnapshot snapshot(const CounterSlot& slot) {
 void write_counter_footer(std::ostream& os, const CounterSlot& slot) {
   for (std::size_t i = 0; i < kCounterCount; ++i) {
     const auto counter = static_cast<Counter>(i);
+    // Checkpoint bookkeeping is excluded: a resumed run must produce this
+    // footer byte-identically to the uninterrupted run it continues.
+    if (is_checkpoint_counter(counter)) continue;
     const std::uint64_t value = slot.value(counter);
     if (value != 0)
       os << "# " << counter_name(counter) << '=' << value << '\n';

@@ -48,8 +48,20 @@ enum class Counter : std::size_t {
   kPacketsGenerated,     ///< Data packets injected (counted arrivals).
   kPacketsDelivered,     ///< Data packets that reached their sink.
   kPacketsDropped,       ///< Data packets dropped (any reason).
+  kCheckpointSaved,      ///< Checkpoints written (snapshot autosave).
+  kCheckpointRestored,   ///< Runs resumed from a checkpoint.
   kCount
 };
+
+/// True for the checkpoint bookkeeping counters. They describe the
+/// recovery machinery, not the simulation, and a resumed run legitimately
+/// differs from an uninterrupted one here (one extra restore) — so they
+/// are excluded from the deterministic output surface: CSV counter footers
+/// skip them and MetricsBuffer::tick zeroes their deltas.
+constexpr bool is_checkpoint_counter(Counter counter) {
+  return counter == Counter::kCheckpointSaved ||
+         counter == Counter::kCheckpointRestored;
+}
 
 inline constexpr std::size_t kCounterCount =
     static_cast<std::size_t>(Counter::kCount);
@@ -68,6 +80,12 @@ class CounterSlot {
   std::uint64_t value(Counter counter) const {
     return values_[static_cast<std::size_t>(counter)].load(
         std::memory_order_relaxed);
+  }
+  /// Overwrites one counter — checkpoint restore only; per-run slots are
+  /// single-writer so the relaxed store cannot race a live increment.
+  void set(Counter counter, std::uint64_t n) {
+    values_[static_cast<std::size_t>(counter)].store(
+        n, std::memory_order_relaxed);
   }
 
  private:

@@ -9,6 +9,7 @@
 #include <set>
 #include <utility>
 
+#include "common/atomic_file.hpp"
 #include "common/error.hpp"
 
 namespace agentnet::obs {
@@ -88,8 +89,12 @@ void MetricsBuffer::tick(std::uint64_t step, const CounterSlot& counters) {
   if (!want(step)) return;
   MetricsRow& row = row_for(step);
   const MetricsSnapshot now = snapshot(counters);
-  for (std::size_t i = 0; i < kCounterCount; ++i)
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    // Checkpoint bookkeeping stays out of the stream: a resumed run's
+    // rows must be byte-identical to the uninterrupted run's.
+    if (is_checkpoint_counter(static_cast<Counter>(i))) continue;
     row.deltas[i] += now.values[i] - last_counters_.values[i];
+  }
   last_counters_ = now;
 }
 
@@ -125,6 +130,50 @@ void MetricsBuffer::clear() {
   rows_.clear();
   last_counters_ = MetricsSnapshot{};
   last_latency_.clear();
+}
+
+void MetricsBuffer::save_state(snapshot::ByteWriter& w) const {
+  w.size(rows_.size());
+  for (const MetricsRow& row : rows_) {
+    w.u64(row.step);
+    for (std::size_t i = 0; i < kGaugeCount; ++i) {
+      w.boolean(row.has_gauge[i]);
+      w.f64(row.gauges[i]);
+    }
+    for (std::size_t i = 0; i < kCounterCount; ++i) w.u64(row.deltas[i]);
+    w.boolean(row.has_latency);
+    w.u64(row.lat_count);
+    w.u64(row.lat_p50);
+    w.u64(row.lat_p95);
+    w.u64(row.lat_p99);
+  }
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    w.u64(last_counters_.values[i]);
+  w.pod_vec(last_latency_);
+}
+
+void MetricsBuffer::load_state(snapshot::ByteReader& r) {
+  const std::size_t n = r.counted(8);
+  rows_.clear();
+  rows_.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    MetricsRow row;
+    row.step = r.u64();
+    for (std::size_t i = 0; i < kGaugeCount; ++i) {
+      row.has_gauge[i] = r.boolean();
+      row.gauges[i] = r.f64();
+    }
+    for (std::size_t i = 0; i < kCounterCount; ++i) row.deltas[i] = r.u64();
+    row.has_latency = r.boolean();
+    row.lat_count = r.u64();
+    row.lat_p50 = r.u64();
+    row.lat_p95 = r.u64();
+    row.lat_p99 = r.u64();
+    rows_.push_back(row);
+  }
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    last_counters_.values[i] = r.u64();
+  r.pod_vec(last_latency_);
 }
 
 std::string serialize_metrics_line(std::int64_t run, const MetricsRow& row) {
@@ -374,15 +423,30 @@ void write_metrics(const std::string& path,
   static std::set<std::string>* opened = new std::set<std::string>();
   std::lock_guard<std::mutex> lock(mutex);
   const bool first = opened->insert(path).second;
-  std::ofstream os(path, first ? std::ios::trunc : std::ios::app);
-  AGENTNET_REQUIRE(os.is_open(), "cannot write metrics file " + path);
-  const std::uint64_t every = buffers.empty() ? 1 : buffers[0]->every();
-  os << serialize_metrics_group(buffers.size(), every) << "\n";
-  for (std::size_t run = 0; run < buffers.size(); ++run)
-    for (const MetricsRow& row : buffers[run]->rows())
-      os << serialize_metrics_line(static_cast<std::int64_t>(run), row)
-         << "\n";
-  AGENTNET_REQUIRE(os.good(), "error while writing metrics file " + path);
+
+  const auto emit = [&](std::ostream& os) {
+    const std::uint64_t every = buffers.empty() ? 1 : buffers[0]->every();
+    os << serialize_metrics_group(buffers.size(), every) << "\n";
+    for (std::size_t run = 0; run < buffers.size(); ++run)
+      for (const MetricsRow& row : buffers[run]->rows())
+        os << serialize_metrics_line(static_cast<std::int64_t>(run), row)
+           << "\n";
+  };
+
+  if (first) {
+    // A crash mid-write must not leave a torn file at the target path.
+    AtomicFileWriter file(path);
+    emit(file.stream());
+    file.commit();
+  } else {
+    // Appends cannot rename-over (that would drop the earlier groups);
+    // they stay in place but still fail loudly on short writes.
+    std::ofstream os(path, std::ios::app);
+    AGENTNET_REQUIRE(os.is_open(), "cannot write metrics file " + path);
+    emit(os);
+    os.flush();
+    AGENTNET_REQUIRE(os.good(), "error while writing metrics file " + path);
+  }
 }
 
 }  // namespace agentnet::obs

@@ -31,6 +31,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/obs_level.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet::obs {
 
@@ -115,6 +116,14 @@ class MetricsBuffer {
 
   const std::vector<MetricsRow>& rows() const { return rows_; }
   void clear();
+
+  /// Checkpoint support: serializes / restores the sampling state (rows,
+  /// last-counter snapshot, latency window baseline) so a resumed run's
+  /// JSONL stream is byte-identical to the uninterrupted run's. The
+  /// enabled/every configuration is not carried — it comes from the
+  /// environment, which must match across save and resume.
+  void save_state(snapshot::ByteWriter& w) const;
+  void load_state(snapshot::ByteReader& r);
 
  private:
   MetricsRow& row_for(std::uint64_t step);

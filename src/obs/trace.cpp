@@ -7,6 +7,7 @@
 #include <set>
 #include <utility>
 
+#include "common/atomic_file.hpp"
 #include "common/error.hpp"
 
 namespace agentnet::obs {
@@ -39,6 +40,10 @@ constexpr KindFields kKindFields[] = {
     /* flow_start*/ {nullptr, "src", "dst"},
     /* flow_end  */ {nullptr, "src", "packets"},
     /* pkt_drop  */ {nullptr, "node", "count"},
+    // Checkpoint events are fieldless (step only): checkpoint contents
+    // vary with thread timing, so the record must not describe them.
+    /* ckpt_save */ {nullptr, nullptr, nullptr},
+    /* ckpt_rest */ {nullptr, nullptr, nullptr},
     /* finish    */ {nullptr, nullptr, nullptr},
     /* run_group */ {nullptr, "runs", nullptr},
 };
@@ -67,6 +72,8 @@ constexpr const char* kTraceEventNames[] = {
     "flow_start",
     "flow_end",
     "packet_drop",
+    "checkpoint_saved",
+    "checkpoint_restored",
     "finish",
     "run_group",
 };
@@ -279,27 +286,42 @@ void write_trace(const std::string& path, TraceFormat format,
   static std::set<std::string>* opened = new std::set<std::string>();
   std::lock_guard<std::mutex> lock(mutex);
   const bool first = opened->insert(path).second;
-  std::ofstream os(path, first ? std::ios::trunc : std::ios::app);
-  AGENTNET_REQUIRE(os.is_open(), "cannot write trace file " + path);
-  if (format == TraceFormat::kJsonl) {
-    TraceEvent marker;
-    marker.kind = TraceEventKind::kRunGroup;
-    marker.a = static_cast<std::int64_t>(buffers.size());
-    os << serialize_trace_line(-1, marker) << "\n";
-    for (std::size_t run = 0; run < buffers.size(); ++run)
-      for (const TraceEvent& event : buffers[run]->events())
-        os << serialize_trace_line(static_cast<std::int64_t>(run), event)
-           << "\n";
+
+  const auto emit = [&](std::ostream& os) {
+    if (format == TraceFormat::kJsonl) {
+      TraceEvent marker;
+      marker.kind = TraceEventKind::kRunGroup;
+      marker.a = static_cast<std::int64_t>(buffers.size());
+      os << serialize_trace_line(-1, marker) << "\n";
+      for (std::size_t run = 0; run < buffers.size(); ++run)
+        for (const TraceEvent& event : buffers[run]->events())
+          os << serialize_trace_line(static_cast<std::int64_t>(run), event)
+             << "\n";
+    } else {
+      // Trace Event JSON array format; the spec allows the closing ']' to
+      // be absent, which is what makes appending run groups legal.
+      if (first) os << "[\n";
+      for (std::size_t run = 0; run < buffers.size(); ++run)
+        for (const TraceEvent& event : buffers[run]->events())
+          os << serialize_chrome_line(static_cast<std::int64_t>(run), event)
+             << ",\n";
+    }
+  };
+
+  if (first) {
+    // A crash mid-write must not leave a torn trace at the target path.
+    AtomicFileWriter file(path);
+    emit(file.stream());
+    file.commit();
   } else {
-    // Trace Event JSON array format; the spec allows the closing ']' to be
-    // absent, which is what makes appending run groups legal.
-    if (first) os << "[\n";
-    for (std::size_t run = 0; run < buffers.size(); ++run)
-      for (const TraceEvent& event : buffers[run]->events())
-        os << serialize_chrome_line(static_cast<std::int64_t>(run), event)
-           << ",\n";
+    // Appends cannot rename-over (that would drop the earlier groups);
+    // they stay in place but still fail loudly on short writes.
+    std::ofstream os(path, std::ios::app);
+    AGENTNET_REQUIRE(os.is_open(), "cannot write trace file " + path);
+    emit(os);
+    os.flush();
+    AGENTNET_REQUIRE(os.good(), "error while writing trace file " + path);
   }
-  AGENTNET_REQUIRE(os.good(), "error while writing trace file " + path);
 }
 
 }  // namespace agentnet::obs

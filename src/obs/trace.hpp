@@ -42,6 +42,8 @@ enum class TraceEventKind : std::uint8_t {
   kFlowStart,     ///< Traffic session opened (src, dst).
   kFlowEnd,       ///< Traffic session emitted its last packet.
   kPacketDrop,    ///< Data packets dropped at a node (count per step).
+  kCheckpointSaved,     ///< Run state checkpointed at this step.
+  kCheckpointRestored,  ///< Run resumed from a checkpoint at this step.
   kFinish,        ///< Mapping task finished (all maps perfect).
   kRunGroup,      ///< File marker: one experiment's group of runs follows.
   kCount

@@ -11,6 +11,7 @@
 #include "net/graph.hpp"
 #include "routing/routing_table.hpp"
 #include "sim/world.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet {
 
@@ -72,6 +73,37 @@ class ConnectivityCache {
                              const std::vector<bool>& is_gateway,
                              std::size_t max_hops = 0);
 
+  /// Checkpoint support: the cache MUST travel with the run — a hit emits
+  /// kDerivedCacheHits, so a cold cache after resume would change counter
+  /// totals vs. the uninterrupted run.
+  void save_state(snapshot::ByteWriter& w) const {
+    w.u64(epoch_);
+    w.size(max_hops_);
+    w.size(entries_.size());
+    for (const RouteEntry& e : entries_) {
+      w.scalar(e.next_hop);
+      w.scalar(e.gateway);
+      w.scalar(e.hops);
+      w.size(e.installed_at);
+    }
+    w.size(result_.connected);
+    w.size(result_.total);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    epoch_ = r.u64();
+    max_hops_ = r.size();
+    const std::size_t n = r.counted(4 * 8);
+    entries_.resize(n);
+    for (RouteEntry& e : entries_) {
+      e.next_hop = r.scalar<NodeId>();
+      e.gateway = r.scalar<NodeId>();
+      e.hops = r.scalar<std::uint32_t>();
+      e.installed_at = r.size();
+    }
+    result_.connected = r.size();
+    result_.total = r.size();
+  }
+
  private:
   std::uint64_t epoch_ = kNoCacheEpoch;
   std::size_t max_hops_ = 0;
@@ -87,6 +119,19 @@ class OracleConnectivityCache {
  public:
   ConnectivityResult measure(std::uint64_t epoch, const Graph& graph,
                              const std::vector<bool>& is_gateway);
+
+  /// Checkpoint support (same rationale as ConnectivityCache). The
+  /// transpose scratch is rebuilt on the next miss and is not carried.
+  void save_state(snapshot::ByteWriter& w) const {
+    w.u64(epoch_);
+    w.size(result_.connected);
+    w.size(result_.total);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    epoch_ = r.u64();
+    result_.connected = r.size();
+    result_.total = r.size();
+  }
 
  private:
   std::uint64_t epoch_ = kNoCacheEpoch;

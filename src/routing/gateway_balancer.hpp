@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/graph.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet {
 
@@ -50,6 +51,20 @@ class GatewayBalancer {
 
   /// Smoothed per-node delivered load (non-gateways stay 0).
   const std::vector<double>& load() const { return load_; }
+
+  /// Checkpoint support: the EWMA state and derived bias vector; config
+  /// and gateway mask are reconstructed from the task config.
+  void save_state(snapshot::ByteWriter& w) const {
+    w.pod_vec(load_);
+    w.pod_vec(bias_);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    r.pod_vec(load_);
+    r.pod_vec(bias_);
+    AGENTNET_REQUIRE(load_.size() == is_gateway_.size() &&
+                         bias_.size() == is_gateway_.size(),
+                     "snapshot: balancer size mismatch");
+  }
 
  private:
   GatewayBalancerConfig config_;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/graph.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet {
 
@@ -56,6 +57,28 @@ class RoutingTables {
 
   bool is_stale(const RouteEntry& entry, std::size_t now) const {
     return !entry.valid() || now - entry.installed_at > policy_.freshness_window;
+  }
+
+  /// Checkpoint support: every entry; the policy is config-derived.
+  void save_state(snapshot::ByteWriter& w) const {
+    w.size(entries_.size());
+    for (const RouteEntry& e : entries_) {
+      w.scalar(e.next_hop);
+      w.scalar(e.gateway);
+      w.scalar(e.hops);
+      w.size(e.installed_at);
+    }
+  }
+  void load_state(snapshot::ByteReader& r) {
+    const std::size_t n = r.counted(4 * 8);
+    AGENTNET_REQUIRE(n == entries_.size(),
+                     "snapshot: routing table size mismatch");
+    for (RouteEntry& e : entries_) {
+      e.next_hop = r.scalar<NodeId>();
+      e.gateway = r.scalar<NodeId>();
+      e.hops = r.scalar<std::uint32_t>();
+      e.installed_at = r.size();
+    }
   }
 
  private:

@@ -170,6 +170,52 @@ void World::refresh_effective(bool geo_changed) {
   }
 }
 
+void World::save_state(snapshot::ByteWriter& w) const {
+  w.size(positions_.size());
+  for (const Vec2& p : positions_) {
+    w.f64(p.x);
+    w.f64(p.y);
+  }
+  w.size(step_);
+  batteries_.save_state(w);
+  mobility_->save_state(w);
+  w.u64(epoch_);
+  w.u64(state_epoch_);
+}
+
+void World::load_state(snapshot::ByteReader& r) {
+  const std::size_t n = r.counted(16);
+  AGENTNET_REQUIRE(n == positions_.size(), "snapshot: node count mismatch");
+  for (Vec2& p : positions_) {
+    p.x = r.f64();
+    p.y = r.f64();
+  }
+  step_ = r.size();
+  batteries_.load_state(r);
+  mobility_->load_state(r);
+  if (!fixed_topology_) {
+    // Rebuild every derived structure from the restored snapshot. The
+    // post-advance invariant ranges_[i] == quantized_range(i) holds at a
+    // checkpoint (captured at the top of a step), so recomputing here
+    // reproduces the built state exactly.
+    for (std::size_t i = 0; i < ranges_.size(); ++i)
+      ranges_[i] = quantized_range(static_cast<NodeId>(i));
+    built_positions_ = positions_;
+    builder_.build_into(geo_graph_, positions_, ranges_);
+    if (weather_active_) {
+      rebuild_flapped();
+      std::swap(flapped_, back_flapped_);
+      flapped_valid_ = true;
+      flap_window_ = step_ / flapper_->persistence();
+    }
+    csr_.rebuild_from(graph());
+  }
+  // The epoch counters are restored directly (not bumped by the rebuilds
+  // above) so derived-state caches keyed on them stay coherent.
+  epoch_ = r.u64();
+  state_epoch_ = r.u64();
+}
+
 void World::set_link_flapper(std::optional<LinkFlapper> flapper) {
   AGENTNET_REQUIRE(!fixed_topology_ || !flapper,
                    "fixed-topology worlds do not support link flappers");

@@ -107,6 +107,15 @@ class World {
   void set_link_flapper(std::optional<LinkFlapper> flapper);
   const std::optional<LinkFlapper>& link_flapper() const { return flapper_; }
 
+  /// Checkpoint support. Serializes the evolving state (positions, clock,
+  /// batteries, mobility, epoch counters); load_state rebuilds the derived
+  /// topology — ranges, geometric graph, weather view, CSR — from the
+  /// restored snapshot, which reproduces it bit-for-bit because it is a
+  /// pure function of that state. Call on a world constructed from the
+  /// same config (same node count, policy, flapper and env knobs).
+  void save_state(snapshot::ByteWriter& w) const;
+  void load_state(snapshot::ByteReader& r);
+
  private:
   /// Quantized effective range: AGENTNET_TOPO_RANGE_QUANTUM > 0 coarsens
   /// ranges to multiples of the quantum (fewer range-dirty nodes per step);

@@ -29,6 +29,7 @@
 #include "common/rng.hpp"
 #include "net/graph.hpp"
 #include "routing/routing_table.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet {
 
@@ -124,6 +125,34 @@ struct FlowTrafficStats {
   FlowTrafficStats& operator+=(const FlowTrafficStats& other);
   friend bool operator==(const FlowTrafficStats&,
                          const FlowTrafficStats&) = default;
+
+  /// Checkpoint support.
+  void save_state(snapshot::ByteWriter& w) const {
+    w.u64(flows_started);
+    w.u64(flows_completed);
+    w.u64(generated);
+    w.u64(delivered);
+    w.u64(dropped_no_route);
+    w.u64(dropped_link_down);
+    w.u64(dropped_ttl);
+    w.u64(dropped_queue_full);
+    w.u64(in_flight);
+    w.u64(latency_sum);
+    w.pod_vec(latency_histogram);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    flows_started = r.u64();
+    flows_completed = r.u64();
+    generated = r.u64();
+    delivered = r.u64();
+    dropped_no_route = r.u64();
+    dropped_link_down = r.u64();
+    dropped_ttl = r.u64();
+    dropped_queue_full = r.u64();
+    in_flight = r.u64();
+    latency_sum = r.u64();
+    r.pod_vec(latency_histogram);
+  }
 };
 
 /// The flow-based data plane. One instance per replication; single writer.
@@ -165,6 +194,74 @@ class FlowTrafficSimulator {
 
   /// Marks measurement end: queued packets are tallied as in_flight.
   void finish() { stats_.in_flight = total_queued_; }
+
+  /// Checkpoint support: batch queues, per-node occupancy, hop delays,
+  /// last-step gateway deliveries, active sessions, stats and RNG.
+  void save_state(snapshot::ByteWriter& w) const {
+    w.size(queues_.size());
+    for (const auto& q : queues_) {
+      w.size(q.size());
+      for (const PacketBatch& b : q) {
+        w.scalar(b.origin);
+        w.scalar(b.dst);
+        w.u64(b.count);
+        w.size(b.created_at);
+        w.scalar(b.hops);
+        w.scalar(b.waited);
+      }
+    }
+    w.pod_vec(queued_packets_);
+    w.u64(total_queued_);
+    w.pod_vec(hop_delays_);
+    w.pod_vec(gateway_deliveries_);
+    w.size(sessions_.size());
+    for (const Session& s : sessions_) {
+      w.scalar(s.origin);
+      w.scalar(s.dst);
+      w.u64(s.remaining);
+      w.scalar(s.rate);
+      w.u64(s.total);
+    }
+    stats_.save_state(w);
+    rng_.save_state(w);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    const std::size_t n = r.counted(8);
+    AGENTNET_REQUIRE(n == queues_.size(),
+                     "snapshot: flow traffic queue count mismatch");
+    for (auto& q : queues_) {
+      const std::size_t m = r.counted(4 + 4 + 8 + 8 + 4 + 4);
+      q.resize(m);
+      for (PacketBatch& b : q) {
+        b.origin = r.scalar<NodeId>();
+        b.dst = r.scalar<NodeId>();
+        b.count = r.u64();
+        b.created_at = r.size();
+        b.hops = r.scalar<std::uint32_t>();
+        b.waited = r.scalar<std::uint32_t>();
+      }
+    }
+    r.pod_vec(queued_packets_);
+    AGENTNET_REQUIRE(queued_packets_.size() == n,
+                     "snapshot: flow traffic occupancy size mismatch");
+    total_queued_ = r.u64();
+    r.pod_vec(hop_delays_);
+    AGENTNET_REQUIRE(hop_delays_.size() == n,
+                     "snapshot: flow traffic hop-delay size mismatch");
+    r.pod_vec(gateway_deliveries_);
+    AGENTNET_REQUIRE(gateway_deliveries_.size() == n,
+                     "snapshot: flow traffic delivery size mismatch");
+    sessions_.resize(r.counted(4 + 4 + 8 + 4 + 8));
+    for (Session& s : sessions_) {
+      s.origin = r.scalar<NodeId>();
+      s.dst = r.scalar<NodeId>();
+      s.remaining = r.u64();
+      s.rate = r.scalar<std::uint32_t>();
+      s.total = r.u64();
+    }
+    stats_.load_state(r);
+    rng_.load_state(r);
+  }
 
  private:
   /// A counted packet train sharing origin, destination and creation step.

@@ -17,6 +17,7 @@
 #include "common/stats.hpp"
 #include "net/graph.hpp"
 #include "routing/routing_table.hpp"
+#include "snapshot/bytes.hpp"
 
 namespace agentnet {
 
@@ -43,6 +44,28 @@ struct TrafficStats {
   std::size_t dropped_queue_full = 0;
   std::size_t in_flight = 0;  ///< Still queued when measurement ended.
   RunningStats latency;       ///< Steps from creation to gateway arrival.
+
+  /// Checkpoint support.
+  void save_state(snapshot::ByteWriter& w) const {
+    w.size(generated);
+    w.size(delivered);
+    w.size(dropped_no_route);
+    w.size(dropped_link_down);
+    w.size(dropped_ttl);
+    w.size(dropped_queue_full);
+    w.size(in_flight);
+    latency.save_state(w);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    generated = r.size();
+    delivered = r.size();
+    dropped_no_route = r.size();
+    dropped_link_down = r.size();
+    dropped_ttl = r.size();
+    dropped_queue_full = r.size();
+    in_flight = r.size();
+    latency.load_state(r);
+  }
 
   std::size_t dropped() const {
     return dropped_no_route + dropped_link_down + dropped_ttl +
@@ -77,6 +100,39 @@ class TrafficSimulator {
 
   /// Marks measurement end: queued packets are tallied as in_flight.
   void finish();
+
+  /// Checkpoint support: per-node queues (in order), stats and RNG.
+  void save_state(snapshot::ByteWriter& w) const {
+    w.size(queues_.size());
+    for (const auto& q : queues_) {
+      w.size(q.size());
+      for (const Packet& p : q) {
+        w.scalar(p.origin);
+        w.size(p.created_at);
+        w.scalar(p.hops);
+        w.size(p.waited);
+      }
+    }
+    stats_.save_state(w);
+    rng_.save_state(w);
+  }
+  void load_state(snapshot::ByteReader& r) {
+    const std::size_t n = r.counted(8);
+    AGENTNET_REQUIRE(n == queues_.size(),
+                     "snapshot: traffic queue count mismatch");
+    for (auto& q : queues_) {
+      const std::size_t m = r.counted(4 * 8);
+      q.resize(m);
+      for (Packet& p : q) {
+        p.origin = r.scalar<NodeId>();
+        p.created_at = r.size();
+        p.hops = r.scalar<std::uint32_t>();
+        p.waited = r.size();
+      }
+    }
+    stats_.load_state(r);
+    rng_.load_state(r);
+  }
 
  private:
   struct Packet {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -110,6 +111,107 @@ TEST(NetworkIoTest, RejectsNonPositiveRange) {
       "1 1 0\n"
       "edges 0\n");
   EXPECT_THROW(load_network(bad), ConfigError);
+}
+
+TEST(NetworkIoTest, RejectsGiantNodeCount) {
+  // A corrupted count line must be rejected before any allocation happens.
+  std::stringstream bad(
+      "agentnet-network 1\n"
+      "bounds 0 0 10 10\n"
+      "policy directed\n"
+      "nodes 999999999999\n");
+  try {
+    load_network(bad);
+    FAIL() << "giant node count accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible node count"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(NetworkIoTest, RejectsGiantEdgeCount) {
+  std::stringstream bad(
+      "agentnet-network 1\n"
+      "bounds 0 0 10 10\n"
+      "policy directed\n"
+      "nodes 2\n"
+      "1 1 5\n"
+      "2 2 5\n"
+      "edges 888888888888\n");
+  try {
+    load_network(bad);
+    FAIL() << "giant edge count accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible edge count"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(NetworkIoTest, ErrorsNameTheOffendingLine) {
+  // Bad node record on (1-based) line 6: the message must say so.
+  std::stringstream bad(
+      "agentnet-network 1\n"
+      "bounds 0 0 10 10\n"
+      "policy directed\n"
+      "nodes 2\n"
+      "1 1 5\n"
+      "2 2 not-a-number\n");
+  try {
+    load_network(bad);
+    FAIL() << "malformed node record accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 6"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(NetworkIoTest, TruncationNamesLastLineAndExpectedSection) {
+  // Stream ends after the second of three promised node records.
+  std::stringstream truncated(
+      "agentnet-network 1\n"
+      "bounds 0 0 10 10\n"
+      "policy directed\n"
+      "nodes 3\n"
+      "1 1 5\n"
+      "2 2 5\n");
+  try {
+    load_network(truncated);
+    FAIL() << "truncated file accepted";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated after line 6"), std::string::npos) << what;
+    EXPECT_NE(what.find("node record"), std::string::npos) << what;
+  }
+}
+
+TEST(NetworkIoTest, OutOfRangeEdgeNamesTheLine) {
+  std::stringstream bad(
+      "agentnet-network 1\n"
+      "bounds 0 0 10 10\n"
+      "policy directed\n"
+      "nodes 2\n"
+      "1 1 5\n"
+      "2 2 5\n"
+      "edges 1\n"
+      "0 7\n");
+  try {
+    load_network(bad);
+    FAIL() << "out-of-range edge accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 8"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(NetworkIoTest, SaveFileLeavesNoTempOnSuccess) {
+  const auto net = sample_network();
+  const std::string path = ::testing::TempDir() + "/agentnet_net_atomic.txt";
+  save_network_file(net, path);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.is_open()) << "temp file left behind after commit";
+  EXPECT_EQ(load_network_file(path).graph, net.graph);
 }
 
 TEST(NetworkIoTest, FileRoundTrip) {

@@ -223,6 +223,51 @@ TEST(ManifestTest, RoundTripsThroughJsonAndDisk) {
   EXPECT_FALSE(obs::parse_manifest_json(json + "x", &error).has_value());
 }
 
+TEST(ManifestTest, ParserRejectsMalformedInput) {
+  // Each corruption mode must fail with a diagnostic, never crash or
+  // silently produce a half-filled manifest.
+  const char* bad_inputs[] = {
+      "",                                      // empty
+      "not json at all",                       // no object
+      "{",                                     // unterminated object
+      "{\"seed\": }",                          // missing value
+      "{\"seed\": 1 \"runs\": 2}",             // missing comma
+      "{\"seed\": \"text\"}",                  // string where int expected
+      "{\"build_type\": 3}",                   // int where string expected
+      "{\"build_type\": \"rel",                // unterminated string
+      "{\"build_type\": \"a\\q\"}",            // unknown escape
+      "{\"env\": {\"A\": 1}}",                 // non-string env value
+      "{\"env\": {\"A\"}}",                    // env entry without value
+  };
+  for (const char* input : bad_inputs) {
+    std::string error;
+    EXPECT_FALSE(obs::parse_manifest_json(input, &error).has_value())
+        << "accepted: " << input;
+    EXPECT_FALSE(error.empty()) << "no diagnostic for: " << input;
+  }
+}
+
+TEST(ManifestTest, TruncatedOnDiskManifestFailsToParse) {
+  obs::RunManifest manifest = obs::make_manifest(7, 2, 1);
+  const std::string path = temp_path("manifest_truncated.json");
+  obs::write_manifest(path, manifest);
+  std::string text = read_file(path);
+  ASSERT_GT(text.size(), 10u);
+  std::string error;
+  EXPECT_FALSE(
+      obs::parse_manifest_json(text.substr(0, text.size() / 2), &error)
+          .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ManifestTest, WriteManifestLeavesNoTempFile) {
+  const std::string path = temp_path("manifest_atomic.json");
+  obs::write_manifest(path, obs::make_manifest(1, 1, 1));
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.is_open()) << "temp file left behind after commit";
+  EXPECT_TRUE(obs::parse_manifest_json(read_file(path)).has_value());
+}
+
 #if AGENTNET_OBS_LEVEL >= 1
 
 TEST(MetricsDeterminismTest, StreamIsByteIdenticalAcrossThreadCounts) {

@@ -21,8 +21,11 @@
 # one traced+metered fault-injected routing run per thread count (1 and 2),
 # proves the metrics stream byte-identical across the two, and pushes it
 # through trace_check --metrics and tools/metrics_report
-# (validate/summarize/diff; docs/OBSERVABILITY.md). A fast data-race +
-# schema check, not a bench sweep.
+# (validate/summarize/diff; docs/OBSERVABILITY.md). A checkpoint/restore
+# leg then snapshots a fault-injected routing run mid-flight, resumes it
+# in a fresh process at a different thread count, and byte-diffs stdout,
+# metrics and traces against the uninterrupted run (docs/ROBUSTNESS.md).
+# A fast data-race + schema check, not a bench sweep.
 set -eu
 
 if [ "${1:-}" = "--smoke" ]; then
@@ -111,12 +114,61 @@ if [ "${1:-}" = "--smoke" ]; then
   diff "$tmp/route_full.out" "$tmp/route_incr.out"
   diff "$tmp/route_full.jsonl" "$tmp/route_incr.jsonl"
   echo "incremental and full topology runs are bit-identical"
+  echo "##### checkpoint/restore byte-identity (TSan + snapshot_inspect)"
+  # Crash-tolerance proof (docs/ROBUSTNESS.md "Checkpoint/restore"): run a
+  # traced+metered fault-injected routing experiment uninterrupted, run it
+  # again with periodic checkpointing, then resume from the on-disk
+  # snapshot in a FRESH process at a different thread count. Final stdout,
+  # metrics stream and trace must be byte-identical — checkpoint_* trace
+  # events are recovery bookkeeping outside the deterministic surface and
+  # are filtered per the documented contract.
+  cmake --build build-tsan --target snapshot_inspect -j"$(nproc)"
+  AGENTNET_THREADS=7 AGENTNET_TRACE="$tmp/ck_base.trace.jsonl" \
+    AGENTNET_METRICS="$tmp/ck_base.metrics.jsonl" \
+    AGENTNET_FAULT_NODE_CRASH=0.05 AGENTNET_FAULT_AGENT_LOSS=0.02 \
+    AGENTNET_FAULT_RESPAWN=0.1 \
+    build-tsan/examples/agentnet_cli scenario=routing nodes=50 gateways=4 \
+    population=10 runs=2 > "$tmp/ck_base.out"
+  AGENTNET_THREADS=2 AGENTNET_CHECKPOINT="$tmp/ck.snap" \
+    AGENTNET_CHECKPOINT_EVERY=100 \
+    AGENTNET_TRACE="$tmp/ck_save.trace.jsonl" \
+    AGENTNET_METRICS="$tmp/ck_save.metrics.jsonl" \
+    AGENTNET_FAULT_NODE_CRASH=0.05 AGENTNET_FAULT_AGENT_LOSS=0.02 \
+    AGENTNET_FAULT_RESPAWN=0.1 \
+    build-tsan/examples/agentnet_cli scenario=routing nodes=50 gateways=4 \
+    population=10 runs=2 > "$tmp/ck_save.out"
+  build-tsan/tools/snapshot_inspect "$tmp/ck.snap"
+  AGENTNET_THREADS=7 AGENTNET_RESUME="$tmp/ck.snap" \
+    AGENTNET_TRACE="$tmp/ck_resume.trace.jsonl" \
+    AGENTNET_METRICS="$tmp/ck_resume.metrics.jsonl" \
+    AGENTNET_FAULT_NODE_CRASH=0.05 AGENTNET_FAULT_AGENT_LOSS=0.02 \
+    AGENTNET_FAULT_RESPAWN=0.1 \
+    build-tsan/examples/agentnet_cli scenario=routing nodes=50 gateways=4 \
+    population=10 runs=2 > "$tmp/ck_resume.out"
+  diff "$tmp/ck_base.out" "$tmp/ck_save.out"
+  diff "$tmp/ck_base.out" "$tmp/ck_resume.out"
+  diff "$tmp/ck_base.metrics.jsonl" "$tmp/ck_save.metrics.jsonl"
+  diff "$tmp/ck_base.metrics.jsonl" "$tmp/ck_resume.metrics.jsonl"
+  grep -v 'checkpoint_' "$tmp/ck_save.trace.jsonl" > "$tmp/ck_save.trace.flt"
+  grep -v 'checkpoint_' "$tmp/ck_resume.trace.jsonl" \
+    > "$tmp/ck_resume.trace.flt"
+  diff "$tmp/ck_base.trace.jsonl" "$tmp/ck_save.trace.flt"
+  diff "$tmp/ck_base.trace.jsonl" "$tmp/ck_resume.trace.flt"
+  # Corruption must be rejected loudly, never resumed from.
+  head -c 64 "$tmp/ck.snap" > "$tmp/ck_torn.snap"
+  if build-tsan/tools/snapshot_inspect --validate "$tmp/ck_torn.snap" \
+    2>/dev/null; then
+    echo "truncated snapshot was accepted" >&2; exit 1
+  fi
+  echo "checkpointed, resumed and uninterrupted runs are bit-identical"
   echo "##### bench gates (report-only; docs/PERFORMANCE.md)"
   # Report-only: CI containers are 1-core and noisy, so the smoke leg
   # records the numbers without enforcing; run tools/bench_gate directly
   # (no flag) to enforce the thresholds on quiet hardware.
+  # --strict-build-type still hard-fails if the perf tree was configured
+  # Debug — timing noise is tolerated, measuring the wrong binary is not.
   if [ -x build/bench/perf_micro ]; then
-    tools/bench_gate --no-fail
+    tools/bench_gate --no-fail --strict-build-type
   else
     echo "perf binaries not built (Release tree) — skipping bench gates" >&2
   fi

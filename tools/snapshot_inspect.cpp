@@ -1,0 +1,61 @@
+// Dumps and validates AGENTNET_CHECKPOINT snapshot files.
+//
+//   snapshot_inspect <file.snap>...           # validate + summary dump
+//   snapshot_inspect --validate <file.snap>...  # validation only (quiet)
+//
+// Loading runs the full container validation path — magic, version, chunk
+// CRC32s, per-chunk parses, duplicate/unknown-chunk checks — so a zero exit
+// certifies the file would be accepted by AGENTNET_RESUME. The dump prints
+// the experiment identity and one line per run record (run index, captured
+// step, payload bytes). Exits 1 on the first rejected file, printing the
+// ConfigError that resume would raise.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "snapshot/snapshot.hpp"
+
+int main(int argc, char** argv) {
+  bool quiet = false;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--validate") == 0)
+      quiet = true;
+    else
+      files.push_back(argv[i]);
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: snapshot_inspect [--validate] <file.snap>...\n");
+    return 2;
+  }
+  for (const char* path : files) {
+    agentnet::snapshot::Checkpoint checkpoint;
+    try {
+      checkpoint = agentnet::snapshot::load_checkpoint(path);
+    } catch (const agentnet::ConfigError& e) {
+      std::fprintf(stderr, "snapshot_inspect: %s\n", e.what());
+      return 1;
+    }
+    if (quiet) {
+      std::printf("%s: OK (%zu run records)\n", path,
+                  checkpoint.runs.size());
+      continue;
+    }
+    const auto& id = checkpoint.identity;
+    std::printf("%s:\n", path);
+    std::printf("  kind=%s runs=%llu run_seed_base=%llu node_count=%llu "
+                "steps=%llu\n",
+                id.kind.c_str(), static_cast<unsigned long long>(id.runs),
+                static_cast<unsigned long long>(id.run_seed_base),
+                static_cast<unsigned long long>(id.node_count),
+                static_cast<unsigned long long>(id.steps));
+    for (const auto& [run, record] : checkpoint.runs)
+      std::printf("  run %llu: step %llu, %zu payload bytes\n",
+                  static_cast<unsigned long long>(run),
+                  static_cast<unsigned long long>(record.step),
+                  record.payload.size());
+  }
+  return 0;
+}
