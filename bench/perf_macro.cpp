@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -123,6 +124,77 @@ void BM_ScaleAdvanceIncremental(benchmark::State& state) {
   advance_loop(state, make_macro_world(scale_params(), true));
 }
 BENCHMARK(BM_ScaleAdvanceIncremental);
+
+// --- Million-node regime: Flat / Sharded pairs at n=100k and n=1M. A huge
+// --- mains-powered static sensor field with a small battery-powered mobile
+// --- convoy (0.1% of nodes, clustered so dirty tiles stay localised) at
+// --- the same spatial density. The flat path refreezes the whole O(n+E)
+// --- CSR on every epoch change; the sharded path patches only the touched
+// --- rows, so the within-run Sharded/Flat ratio is the tentpole's win and
+// --- tools/bench_gate enforces a floor on it. Each benchmark also reports
+// --- bytes_per_node (World::memory_bytes() / n) for the memory story.
+World make_scale_world(std::size_t node_count, bool sharded) {
+  // Pin the mode via the env knob so construction never builds the other
+  // mode's structures first (auto mode would shard everything ≥4096).
+  setenv("AGENTNET_TOPO_SHARD", sharded ? "1" : "0", 1);
+  Rng rng(4242);
+  const double side =
+      1000.0 * std::sqrt(static_cast<double>(node_count) / 250.0);
+  const Aabb bounds{{0.0, 0.0}, {side, side}};
+  std::vector<Vec2> positions = random_positions(node_count, bounds, rng);
+  std::vector<double> ranges =
+      heterogeneous_ranges(node_count, 110.0 * 0.85, 110.0 * 1.15, rng);
+  const std::size_t movers = std::max<std::size_t>(16, node_count / 1000);
+  std::vector<bool> mobile(node_count, false);
+  // Convoy: movers clustered in a corner box an eighth of the arena wide.
+  const Aabb convoy{{0.0, 0.0}, {side / 8.0, side / 8.0}};
+  for (std::size_t i = 0; i < movers; ++i) {
+    mobile[i] = true;
+    positions[i] = {rng.uniform_real(convoy.lo.x, convoy.hi.x),
+                    rng.uniform_real(convoy.lo.y, convoy.hi.y)};
+  }
+  auto mobility = std::make_unique<RandomDirectionMobility>(
+      bounds, mobile, RandomDirectionMobility::Params{0.5, 3.0, 0.05},
+      rng.fork(0x30B));
+  BatteryBank batteries(node_count, mobile, BatteryParams{1.0, 0.001});
+  World world(bounds, std::move(positions),
+              RadioModel(std::move(ranges), RangeScaling{0.6}),
+              std::move(batteries), std::move(mobility),
+              LinkPolicy::kSymmetricAnd);
+  unsetenv("AGENTNET_TOPO_SHARD");
+  return world;
+}
+
+void scale_advance_loop(benchmark::State& state, std::size_t node_count,
+                        bool sharded) {
+  World world = make_scale_world(node_count, sharded);
+  state.counters["bytes_per_node"] = benchmark::Counter(
+      static_cast<double>(world.memory_bytes()) /
+      static_cast<double>(node_count));
+  advance_loop(state, std::move(world));
+}
+
+// Fixed iteration counts: google-benchmark's calibration would otherwise
+// re-run the (expensive to construct) million-node worlds several times.
+void BM_Scale100kAdvanceFlat(benchmark::State& state) {
+  scale_advance_loop(state, 100'000, false);
+}
+BENCHMARK(BM_Scale100kAdvanceFlat)->Iterations(32);
+
+void BM_Scale100kAdvanceSharded(benchmark::State& state) {
+  scale_advance_loop(state, 100'000, true);
+}
+BENCHMARK(BM_Scale100kAdvanceSharded)->Iterations(32);
+
+void BM_Scale1MAdvanceFlat(benchmark::State& state) {
+  scale_advance_loop(state, 1'000'000, false);
+}
+BENCHMARK(BM_Scale1MAdvanceFlat)->Iterations(8);
+
+void BM_Scale1MAdvanceSharded(benchmark::State& state) {
+  scale_advance_loop(state, 1'000'000, true);
+}
+BENCHMARK(BM_Scale1MAdvanceSharded)->Iterations(8);
 
 // --- Traffic regime (informational, no Full/Incremental pair): the whole
 // --- loaded-network loop — delay-mode ants, flow generation, batch

@@ -9,12 +9,28 @@ namespace agentnet {
 
 SpatialGrid::SpatialGrid(Aabb bounds, double cell_size)
     : bounds_(bounds), cell_size_(cell_size) {
-  AGENTNET_REQUIRE(cell_size > 0.0, "spatial grid cell size must be > 0");
+  AGENTNET_REQUIRE(std::isfinite(cell_size) && cell_size > 0.0,
+                   "spatial grid cell size must be finite and > 0");
+  AGENTNET_REQUIRE(
+      std::isfinite(bounds.lo.x) && std::isfinite(bounds.lo.y) &&
+          std::isfinite(bounds.hi.x) && std::isfinite(bounds.hi.y),
+      "spatial grid bounds must be finite");
   AGENTNET_REQUIRE(bounds.width() > 0.0 && bounds.height() > 0.0,
                    "spatial grid bounds must have positive area");
-  cols_ = std::max(1, static_cast<int>(std::ceil(bounds.width() / cell_size)));
-  rows_ =
-      std::max(1, static_cast<int>(std::ceil(bounds.height() / cell_size)));
+  // Cell counts in double first: a direct ceil()-and-cast overflows int for
+  // huge bounds ÷ small cells. Coarsen the cell size (doubling terminates:
+  // eventually one cell covers each axis) until the grid fits kMaxCells.
+  const auto cells_for = [](double extent, double cs) {
+    const double c = std::ceil(extent / cs);
+    return c < 1.0 ? 1.0 : c;
+  };
+  const auto max_cells = static_cast<double>(kMaxCells);
+  while (cells_for(bounds.width(), cell_size_) *
+             cells_for(bounds.height(), cell_size_) >
+         max_cells)
+    cell_size_ *= 2.0;
+  cols_ = static_cast<int>(cells_for(bounds.width(), cell_size_));
+  rows_ = static_cast<int>(cells_for(bounds.height(), cell_size_));
   cells_.resize(static_cast<std::size_t>(cols_) * rows_);
 }
 
@@ -70,6 +86,15 @@ void SpatialGrid::query(Vec2 point, double radius,
   out.clear();
   for_each_within(point, radius, [&](std::size_t j) { out.push_back(j); });
   std::sort(out.begin(), out.end());
+}
+
+std::size_t SpatialGrid::heap_bytes() const {
+  std::size_t bytes = positions_.capacity() * sizeof(Vec2) +
+                      home_.capacity() * sizeof(std::uint32_t) +
+                      cells_.capacity() * sizeof(cells_[0]);
+  for (const auto& bucket : cells_)
+    bytes += bucket.capacity() * sizeof(std::uint32_t);
+  return bytes;
 }
 
 }  // namespace agentnet

@@ -19,8 +19,17 @@ namespace agentnet {
 
 class SpatialGrid {
  public:
+  /// Hard cap on cols*rows. Million-node arenas can otherwise request
+  /// astronomically many cells (huge bounds ÷ small cell size — enough to
+  /// overflow an int or exhaust memory before a single point is inserted);
+  /// construction coarsens the cell size until the grid fits. A coarser
+  /// cell only widens neighbourhood scans, it never changes query results.
+  static constexpr std::size_t kMaxCells = std::size_t{1} << 21;
+
   /// `cell_size` should be >= the largest query radius for single-ring
-  /// lookups; larger radii still work (more cells are visited).
+  /// lookups; larger radii still work (more cells are visited). The stored
+  /// cell size may be coarsened to respect kMaxCells — read it back via
+  /// cell_size().
   SpatialGrid(Aabb bounds, double cell_size);
 
   /// Replaces the contents with `positions`; index i keeps identity i.
@@ -65,6 +74,10 @@ class SpatialGrid {
   /// As above, reusing caller storage (`out` is cleared first) — the
   /// zero-allocation form for per-step callers.
   void query(Vec2 point, double radius, std::vector<std::size_t>& out) const;
+
+  /// Heap footprint: positions, bucket headers and bucket capacity
+  /// (bytes/node accounting; O(cells) walk, bench/report use only).
+  std::size_t heap_bytes() const;
 
  private:
   std::size_t cell_index(int cx, int cy) const {

@@ -118,17 +118,61 @@ void Graph::transposed_into(Graph& out) const {
   out.edge_count_ = edge_count_;
 }
 
+std::size_t Graph::heap_bytes() const {
+  std::size_t bytes = adjacency_.capacity() * sizeof(adjacency_[0]);
+  for (const auto& row : adjacency_)
+    bytes += row.capacity() * sizeof(NodeId);
+  return bytes;
+}
+
 void CsrView::rebuild_from(const Graph& graph) {
+  rebuild_padded_from(graph, 0);
+}
+
+void CsrView::rebuild_padded_from(const Graph& graph,
+                                  std::uint32_t row_slack) {
   const std::size_t n = graph.node_count();
-  offsets_.resize(n + 1);
+  // Per-row capacity = degree + slack; slot layout must stay within the
+  // u32 start offsets.
+  AGENTNET_REQUIRE(graph.edge_count() + n * std::size_t{row_slack} <
+                       static_cast<std::size_t>(UINT32_MAX),
+                   "graph too large for u32 CSR offsets");
+  starts_.resize(n + 1);
+  lens_.resize(n);
   targets_.clear();
-  targets_.reserve(graph.edge_count());
-  offsets_[0] = 0;
+  targets_.reserve(graph.edge_count() + n * row_slack);
+  starts_[0] = 0;
   for (NodeId u = 0; u < n; ++u) {
     const auto nbrs = graph.out_neighbors(u);
     targets_.insert(targets_.end(), nbrs.begin(), nbrs.end());
-    offsets_[u + 1] = static_cast<std::uint32_t>(targets_.size());
+    lens_[u] = static_cast<std::uint32_t>(nbrs.size());
+    targets_.resize(targets_.size() + row_slack, kInvalidNode);
+    starts_[u + 1] = static_cast<std::uint32_t>(targets_.size());
   }
+  edge_count_ = graph.edge_count();
+}
+
+bool CsrView::patch_row(NodeId u, std::span<const NodeId> sorted_neighbors) {
+  AGENTNET_ASSERT_MSG(u < lens_.size(), "node id out of range");
+  const std::uint32_t cap = starts_[u + 1] - starts_[u];
+  if (sorted_neighbors.size() > cap) return false;  // caller re-freezes
+  std::copy(sorted_neighbors.begin(), sorted_neighbors.end(),
+            targets_.begin() + starts_[u]);
+  edge_count_ += sorted_neighbors.size();
+  edge_count_ -= lens_[u];
+  lens_[u] = static_cast<std::uint32_t>(sorted_neighbors.size());
+  return true;
+}
+
+bool operator==(const CsrView& a, const CsrView& b) {
+  if (a.lens_.size() != b.lens_.size() || a.edge_count_ != b.edge_count_)
+    return false;
+  for (NodeId u = 0; u < a.lens_.size(); ++u) {
+    const auto ra = a.out_neighbors(u);
+    const auto rb = b.out_neighbors(u);
+    if (!std::equal(ra.begin(), ra.end(), rb.begin(), rb.end())) return false;
+  }
+  return true;
 }
 
 bool CsrView::has_edge(NodeId u, NodeId v) const {

@@ -81,6 +81,11 @@ class Graph {
 
   friend bool operator==(const Graph&, const Graph&) = default;
 
+  /// Heap footprint of the adjacency storage (bytes/node accounting): row
+  /// headers plus every row's reserved capacity. O(V) walk — bench/report
+  /// use, not per-step hot path.
+  std::size_t heap_bytes() const;
+
   /// Checkpoint support: node count plus every adjacency row. load_state
   /// re-derives edge_count_ from the rows and validates the strictly-
   /// ascending, no-self-loop row invariant.
@@ -112,38 +117,65 @@ class Graph {
   std::size_t edge_count_ = 0;
 };
 
-/// A frozen CSR snapshot of a Graph: one offsets array, one targets array.
-/// Read-heavy per-step consumers (BFS, connectivity walks, coverage
-/// measurement) iterate this instead of the vector-of-vectors — the whole
-/// edge set is two contiguous allocations, and rebuild_from() recycles them
-/// across steps. The neighbour order is exactly the Graph's (ascending), so
-/// any algorithm gives bit-identical results on either representation.
+/// A frozen CSR snapshot of a Graph: one starts array, one lengths array,
+/// one targets array. Read-heavy per-step consumers (BFS, connectivity
+/// walks, coverage measurement) iterate this instead of the
+/// vector-of-vectors — the whole edge set lives in contiguous allocations,
+/// and rebuild_from() recycles them across steps. The neighbour order is
+/// exactly the Graph's (ascending), so any algorithm gives bit-identical
+/// results on either representation.
+///
+/// Rows may carry slack capacity: rebuild_padded_from() reserves headroom
+/// after each row so patch_row() can replace a single row in place without
+/// touching the rest of the layout. The sharded world (docs/PERFORMANCE.md,
+/// "Sharded world") uses this to keep the CSR current at per-dirty-row cost
+/// instead of refreezing all n+E entries whenever the edge set changes.
+/// Equality is logical (same rows in the same order), independent of slack.
 class CsrView {
  public:
   CsrView() = default;
   explicit CsrView(const Graph& graph) { rebuild_from(graph); }
 
-  /// Re-freezes from `graph`, reusing both arrays.
+  /// Re-freezes from `graph` with no slack, reusing the arrays.
   void rebuild_from(const Graph& graph);
 
-  std::size_t node_count() const {
-    return offsets_.empty() ? 0 : offsets_.size() - 1;
-  }
-  std::size_t edge_count() const { return targets_.size(); }
+  /// Re-freezes from `graph` reserving `row_slack` spare target slots after
+  /// each row (plus proportional headroom for dense rows) so subsequent
+  /// patch_row() calls usually fit in place.
+  void rebuild_padded_from(const Graph& graph, std::uint32_t row_slack = 8);
+
+  /// Replaces u's row with `sorted_neighbors` in place. Returns false —
+  /// leaving the view unchanged — when the new row exceeds the slot's
+  /// capacity; the caller then re-freezes via rebuild_padded_from().
+  bool patch_row(NodeId u, std::span<const NodeId> sorted_neighbors);
+
+  std::size_t node_count() const { return lens_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
 
   std::span<const NodeId> out_neighbors(NodeId u) const {
-    AGENTNET_ASSERT_MSG(u + 1 < offsets_.size(), "node id out of range");
-    return {targets_.data() + offsets_[u],
-            targets_.data() + offsets_[u + 1]};
+    AGENTNET_ASSERT_MSG(u < lens_.size(), "node id out of range");
+    return {targets_.data() + starts_[u], lens_[u]};
   }
   std::size_t out_degree(NodeId u) const { return out_neighbors(u).size(); }
   bool has_edge(NodeId u, NodeId v) const;
 
-  friend bool operator==(const CsrView&, const CsrView&) = default;
+  /// Logical equality: same node count and per-row neighbour sequences.
+  /// Slack layout is invisible — a padded view equals its dense twin.
+  friend bool operator==(const CsrView& a, const CsrView& b);
+
+  /// Heap footprint of the frozen arrays (bytes/node accounting).
+  std::size_t heap_bytes() const {
+    return starts_.capacity() * sizeof(std::uint32_t) +
+           lens_.capacity() * sizeof(std::uint32_t) +
+           targets_.capacity() * sizeof(NodeId);
+  }
 
  private:
-  std::vector<std::uint32_t> offsets_;  // node_count + 1 entries
-  std::vector<NodeId> targets_;         // edge_count entries, sorted per node
+  std::vector<std::uint32_t> starts_;  // node_count + 1; row u occupies
+                                       // [starts_[u], starts_[u+1]) slots
+  std::vector<std::uint32_t> lens_;    // node_count; live entries per row
+  std::vector<NodeId> targets_;        // slot storage, sorted per row
+  std::size_t edge_count_ = 0;
 };
 
 }  // namespace agentnet

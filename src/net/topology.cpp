@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/parallel_for.hpp"
 
 namespace agentnet {
 
@@ -21,15 +22,17 @@ Graph TopologyBuilder::build(const std::vector<Vec2>& positions,
   return graph;
 }
 
-void TopologyBuilder::gather_row(NodeId u, const std::vector<Vec2>& positions,
-                                 const std::vector<double>& ranges) {
+void TopologyBuilder::gather_row_into(NodeId u,
+                                      const std::vector<Vec2>& positions,
+                                      const std::vector<double>& ranges,
+                                      std::vector<NodeId>& out) const {
   AGENTNET_REQUIRE(ranges[u] <= max_range_ * (1.0 + 1e-12),
                    "effective range exceeds builder max_range");
   // Query by this node's own reach; for symmetric policies the pair rule
   // is evaluated per candidate.
   const double query_radius =
       policy_ == LinkPolicy::kSymmetricOr ? max_range_ : ranges[u];
-  scratch_.clear();
+  out.clear();
   grid_.for_each_within(positions[u], query_radius, [&](std::size_t v) {
     if (v == u) return;
     const double d2 = distance2(positions[u], positions[v]);
@@ -37,21 +40,19 @@ void TopologyBuilder::gather_row(NodeId u, const std::vector<Vec2>& positions,
     const double rv2 = ranges[v] * ranges[v];
     switch (policy_) {
       case LinkPolicy::kDirected:
-        if (d2 <= ru2) scratch_.push_back(static_cast<NodeId>(v));
+        if (d2 <= ru2) out.push_back(static_cast<NodeId>(v));
         break;
       case LinkPolicy::kSymmetricAnd:
-        if (d2 <= ru2 && d2 <= rv2)
-          scratch_.push_back(static_cast<NodeId>(v));
+        if (d2 <= ru2 && d2 <= rv2) out.push_back(static_cast<NodeId>(v));
         break;
       case LinkPolicy::kSymmetricOr:
-        if (d2 <= ru2 || d2 <= rv2)
-          scratch_.push_back(static_cast<NodeId>(v));
+        if (d2 <= ru2 || d2 <= rv2) out.push_back(static_cast<NodeId>(v));
         break;
     }
   });
   // One sort per node replaces a per-edge insertion sort; the accepted set
   // has no duplicates (each point lives in exactly one grid cell).
-  std::sort(scratch_.begin(), scratch_.end());
+  std::sort(out.begin(), out.end());
 }
 
 void TopologyBuilder::build_into(Graph& graph,
@@ -70,13 +71,21 @@ void TopologyBuilder::build_into(Graph& graph,
 bool TopologyBuilder::update_into(Graph& graph, std::span<const NodeId> dirty,
                                   const std::vector<Vec2>& positions,
                                   const std::vector<double>& ranges) {
+  return update_into(graph, dirty, positions, ranges, UpdateOptions{});
+}
+
+bool TopologyBuilder::update_into(Graph& graph, std::span<const NodeId> dirty,
+                                  const std::vector<Vec2>& positions,
+                                  const std::vector<double>& ranges,
+                                  const UpdateOptions& options) {
   const std::size_t n = positions.size();
   AGENTNET_REQUIRE(positions.size() == ranges.size(),
                    "positions/ranges size mismatch");
   AGENTNET_REQUIRE(graph.node_count() == n && grid_.size() == n,
                    "update_into needs the previously built graph/grid");
   bool changed = false;
-  dirty_mask_.assign(n, 0);
+  if (options.touched_rows) options.touched_rows->clear();
+  if (dirty_mask_.size() < n) dirty_mask_.resize(n, 0);
   for (NodeId u : dirty) {
     AGENTNET_ASSERT(u < n);
     dirty_mask_[u] = 1;
@@ -102,26 +111,52 @@ bool TopologyBuilder::update_into(Graph& graph, std::span<const NodeId> dirty,
   // Bring the grid to the new snapshot, then gather against it.
   for (NodeId u : moved_) grid_.move(u, positions[u]);
 
+  // Optionally pre-gather every dirty row in parallel: each index writes
+  // its own slot and the grid/positions/ranges snapshot is frozen for the
+  // whole phase, so the rows are bit-identical to a serial gather. The
+  // apply loop below then runs serially in ascending dirty order either
+  // way — the determinism contract's execute-anywhere / combine-in-order
+  // split (docs/ARCHITECTURE.md).
+  const bool pre_gather =
+      options.pool != nullptr && options.pool->size() > 1 && dirty.size() > 1;
+  if (pre_gather) {
+    if (row_slots_.size() < dirty.size()) row_slots_.resize(dirty.size());
+    parallel_for(*options.pool, dirty.size(), [&](std::size_t i) {
+      gather_row_into(dirty[i], positions, ranges, row_slots_[i]);
+    });
+  }
+
   // (a) Out-rows of dirty nodes, exactly as a full build computes them.
-  for (NodeId u : dirty) {
-    gather_row(u, positions, ranges);
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const NodeId u = dirty[i];
+    if (!pre_gather) gather_row(u, positions, ranges);
+    const std::vector<NodeId>& new_row = pre_gather ? row_slots_[i] : scratch_;
     const auto old_row = graph.out_neighbors(u);
-    if (!std::equal(old_row.begin(), old_row.end(), scratch_.begin(),
-                    scratch_.end())) {
+    if (!std::equal(old_row.begin(), old_row.end(), new_row.begin(),
+                    new_row.end())) {
       changed = true;
+      if (options.touched_rows) options.touched_rows->push_back(u);
       if (policy_ != LinkPolicy::kDirected) {
         // Symmetric policies: out(u) == in(u), so the row diff tells every
         // *clean* neighbour whether its edge toward u appeared or vanished
         // (dirty neighbours recompute their own rows). Two-pointer walk
         // over the sorted old/new rows.
         std::size_t a = 0, b = 0;
-        while (a < old_row.size() || b < scratch_.size()) {
-          if (b == scratch_.size() ||
-              (a < old_row.size() && old_row[a] < scratch_[b])) {
-            if (!dirty_mask_[old_row[a]]) graph.remove_edge(old_row[a], u);
+        while (a < old_row.size() || b < new_row.size()) {
+          if (b == new_row.size() ||
+              (a < old_row.size() && old_row[a] < new_row[b])) {
+            if (!dirty_mask_[old_row[a]]) {
+              graph.remove_edge(old_row[a], u);
+              if (options.touched_rows)
+                options.touched_rows->push_back(old_row[a]);
+            }
             ++a;
-          } else if (a == old_row.size() || scratch_[b] < old_row[a]) {
-            if (!dirty_mask_[scratch_[b]]) graph.add_edge(scratch_[b], u);
+          } else if (a == old_row.size() || new_row[b] < old_row[a]) {
+            if (!dirty_mask_[new_row[b]]) {
+              graph.add_edge(new_row[b], u);
+              if (options.touched_rows)
+                options.touched_rows->push_back(new_row[b]);
+            }
             ++b;
           } else {
             ++a;
@@ -130,7 +165,7 @@ bool TopologyBuilder::update_into(Graph& graph, std::span<const NodeId> dirty,
         }
       }
     }
-    graph.assign_out_edges(u, scratch_);
+    graph.assign_out_edges(u, new_row);
   }
 
   // (b) Directed in-edges toward moved nodes: candidates from the new
@@ -147,13 +182,34 @@ bool TopologyBuilder::update_into(Graph& graph, std::span<const NodeId> dirty,
     for (const auto& [v, u] : pairs_) {
       const bool want = distance2(positions[v], positions[u]) <=
                         ranges[v] * ranges[v];
-      if (want)
-        changed |= graph.add_edge(v, u);
-      else
-        changed |= graph.remove_edge(v, u);
+      const bool applied =
+          want ? graph.add_edge(v, u) : graph.remove_edge(v, u);
+      changed |= applied;
+      if (applied && options.touched_rows) options.touched_rows->push_back(v);
     }
   }
+  // Clear only the bits this call set — O(|dirty|), not O(n).
+  for (NodeId u : dirty) dirty_mask_[u] = 0;
+  if (options.touched_rows) {
+    std::sort(options.touched_rows->begin(), options.touched_rows->end());
+    options.touched_rows->erase(
+        std::unique(options.touched_rows->begin(),
+                    options.touched_rows->end()),
+        options.touched_rows->end());
+  }
   return changed;
+}
+
+std::size_t TopologyBuilder::heap_bytes() const {
+  std::size_t bytes = grid_.heap_bytes() +
+                      scratch_.capacity() * sizeof(NodeId) +
+                      dirty_mask_.capacity() +
+                      moved_.capacity() * sizeof(NodeId) +
+                      pairs_.capacity() * sizeof(pairs_[0]) +
+                      row_slots_.capacity() * sizeof(row_slots_[0]);
+  for (const auto& slot : row_slots_)
+    bytes += slot.capacity() * sizeof(NodeId);
+  return bytes;
 }
 
 }  // namespace agentnet

@@ -10,6 +10,8 @@
 
 namespace agentnet {
 
+class ThreadPool;
+
 /// How a one-way radio reach (u hears within range(u)) becomes a link.
 enum class LinkPolicy {
   kDirected,      ///< u→v iff dist ≤ range(u). The mapping environment.
@@ -65,20 +67,50 @@ class TopologyBuilder {
                    const std::vector<Vec2>& positions,
                    const std::vector<double>& ranges);
 
+  /// Optional behaviours for update_into(); default-constructed == the
+  /// plain overload above.
+  struct UpdateOptions {
+    /// When set, dirty rows are gathered in parallel over this pool (one
+    /// pre-allocated slot per dirty index) and applied serially in index
+    /// order — bit-identical to the serial gather because each row is a
+    /// pure function of the (grid, positions, ranges) snapshot.
+    ThreadPool* pool = nullptr;
+    /// When set, receives the sorted, deduplicated ids of every row whose
+    /// stored adjacency this call modified: dirty rows that changed plus
+    /// clean "halo" rows fixed up by mirror diffs / directed in-edge
+    /// repair. The sharded world patches exactly these CSR rows.
+    std::vector<NodeId>* touched_rows = nullptr;
+  };
+  bool update_into(Graph& graph, std::span<const NodeId> dirty,
+                   const std::vector<Vec2>& positions,
+                   const std::vector<double>& ranges,
+                   const UpdateOptions& options);
+
+  /// Heap footprint of the grid and scratch (bytes/node accounting).
+  std::size_t heap_bytes() const;
+
  private:
-  /// Fills scratch_ (sorted) with u's accepted out-neighbours at the
-  /// grid's current snapshot.
+  /// Fills `out` (sorted) with u's accepted out-neighbours at the grid's
+  /// current snapshot.
+  void gather_row_into(NodeId u, const std::vector<Vec2>& positions,
+                       const std::vector<double>& ranges,
+                       std::vector<NodeId>& out) const;
   void gather_row(NodeId u, const std::vector<Vec2>& positions,
-                  const std::vector<double>& ranges);
+                  const std::vector<double>& ranges) {
+    gather_row_into(u, positions, ranges, scratch_);
+  }
 
   SpatialGrid grid_;
   LinkPolicy policy_;
   double max_range_;
   std::vector<NodeId> scratch_;  ///< One node's accepted neighbours.
-  // update_into() scratch, reused across steps.
+  // update_into() scratch, reused across steps. dirty_mask_ is cleared by
+  // walking the previous dirty set (not an O(n) refill), so steady-state
+  // update cost tracks the dirty count, not the node count.
   std::vector<char> dirty_mask_;
   std::vector<NodeId> moved_;
   std::vector<std::pair<NodeId, NodeId>> pairs_;  ///< (source, dirty target).
+  std::vector<std::vector<NodeId>> row_slots_;  ///< Parallel-gather slots.
 };
 
 }  // namespace agentnet

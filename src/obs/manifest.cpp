@@ -15,6 +15,10 @@
 #define AGENTNET_VERSION "0.0.0"
 #endif
 
+#ifndef AGENTNET_BUILD_TYPE
+#define AGENTNET_BUILD_TYPE ""
+#endif
+
 extern char** environ;
 
 namespace agentnet::obs {
@@ -57,6 +61,7 @@ RunManifest make_manifest(std::uint64_t seed, int runs, int threads) {
 #else
   manifest.build_type = "debug";
 #endif
+  manifest.cmake_build_type = AGENTNET_BUILD_TYPE;
   manifest.obs_level = AGENTNET_OBS_LEVEL;
   manifest.seed = seed;
   manifest.runs = runs;
@@ -93,6 +98,7 @@ std::string manifest_json(const RunManifest& manifest) {
   };
   string_field("library_version", manifest.library_version);
   string_field("build_type", manifest.build_type);
+  string_field("cmake_build_type", manifest.cmake_build_type);
   int_field("obs_level", manifest.obs_level);
   int_field("seed", static_cast<std::int64_t>(manifest.seed));
   int_field("runs", manifest.runs);
@@ -230,6 +236,8 @@ std::optional<RunManifest> parse_manifest_json(const std::string& text,
       if (!scan.string(manifest.library_version)) return std::nullopt;
     } else if (key == "build_type") {
       if (!scan.string(manifest.build_type)) return std::nullopt;
+    } else if (key == "cmake_build_type") {
+      if (!scan.string(manifest.cmake_build_type)) return std::nullopt;
     } else if (key == "trace_path") {
       if (!scan.string(manifest.trace_path)) return std::nullopt;
     } else if (key == "metrics_path") {

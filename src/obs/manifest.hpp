@@ -23,6 +23,10 @@ namespace agentnet::obs {
 struct RunManifest {
   std::string library_version;  ///< AGENTNET_VERSION (CMake project version).
   std::string build_type;       ///< "release" (NDEBUG) or "debug".
+  /// Exact CMake flavor (AGENTNET_BUILD_TYPE, e.g. "Release" or
+  /// "RelWithDebInfo"); distinguishes flavors NDEBUG lumps together, so
+  /// tools/bench_gate can key baselines per flavor.
+  std::string cmake_build_type;
   int obs_level = AGENTNET_OBS_LEVEL;
   std::uint64_t seed = 0;       ///< Run-seed base of the experiment.
   int runs = 0;                 ///< Replications in the experiment.

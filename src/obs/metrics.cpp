@@ -34,6 +34,8 @@ constexpr const char* kCounterNames[] = {
     "topo_nodes_dirty",
     "topo_full_rebuilds",
     "derived_cache_hits",
+    "shard_tiles_dirty",
+    "shard_halo_rows",
     "flows_started",
     "flows_completed",
     "packets_generated",

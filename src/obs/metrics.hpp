@@ -43,6 +43,8 @@ enum class Counter : std::size_t {
   kTopoNodesDirty,       ///< Nodes patched by an incremental topology update.
   kTopoFullRebuilds,     ///< Full (non-incremental) topology rebuilds.
   kDerivedCacheHits,     ///< Epoch-keyed derived-state cache hits.
+  kShardTilesDirty,      ///< Tiles holding ≥1 dirty node (sharded advance).
+  kShardHaloRows,        ///< Clean rows patched by halo exchange (sharded).
   kFlowsStarted,         ///< Traffic sessions opened by the flow generator.
   kFlowsCompleted,       ///< Traffic sessions that emitted their last packet.
   kPacketsGenerated,     ///< Data packets injected (counted arrivals).

@@ -1,0 +1,153 @@
+// Spatially sharded upkeep state for World (docs/PERFORMANCE.md, "Sharded
+// world").
+//
+// WorldShards partitions the maybe-dirty node set into square tiles over the
+// arena and keeps each tile's built snapshot in SoA layout: built positions
+// (split x/y arrays), built quantized ranges and an on-battery flag per
+// member slot. The per-step dirty scan then runs tile-local — only tiles
+// that hold maybe-dirty members cost anything, mains-powered members skip
+// the range recomputation entirely (their effective range is a constant),
+// and no tile writes shared state, so the scan fans out over a ThreadPool
+// with no synchronisation. Per-tile dirty lists are merged into one
+// globally ascending (id, range) list, which makes every downstream step —
+// TopologyBuilder::update_into, CSR row patching, epoch bumps — consume
+// exactly the dirty set the flat path would have produced, in the same
+// order. That is the whole bit-identity argument: the sharded structures
+// only *find* the dirty nodes differently, they never change what is done
+// with them.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/dense_bitset.hpp"
+#include "common/parallel_for.hpp"
+#include "energy/battery.hpp"
+#include "geom/vec2.hpp"
+#include "net/graph.hpp"
+
+namespace agentnet {
+
+class WorldShards {
+ public:
+  /// Hard cap on the tile count; construction coarsens `tile_size` to fit
+  /// (same discipline as SpatialGrid::kMaxCells).
+  static constexpr std::size_t kMaxTiles = std::size_t{1} << 20;
+
+  /// Builds the tile partition for `maybe_dirty` members at their built
+  /// snapshot. `built_positions` / `built_ranges` are indexed by node id
+  /// and must reflect the last topology build.
+  WorldShards(Aabb bounds, double tile_size,
+              std::span<const NodeId> maybe_dirty,
+              const std::vector<Vec2>& built_positions,
+              const std::vector<double>& built_ranges,
+              const BatteryBank& batteries);
+
+  std::size_t tile_count() const { return tiles_.size(); }
+  std::size_t member_count() const { return maybe_dirty_mask_.count(); }
+  double tile_size() const { return tile_size_; }
+  /// Maybe-dirty membership, O(1) per query (halo-row classification).
+  const DenseBitset& maybe_dirty_mask() const { return maybe_dirty_mask_; }
+
+  /// Per-tile dirty scan against `positions`; `range_of(node)` must return
+  /// the node's current quantized effective range (only battery-powered
+  /// members are asked). Fills dirty_ids()/dirty_ranges() — globally
+  /// ascending, identical to the flat World::collect_dirty() output — and
+  /// last_tiles_dirty(). Safe to fan out: each tile touches only its own
+  /// scratch, `positions` and `range_of` are read-only.
+  template <class RangeFn>
+  void collect_dirty(const std::vector<Vec2>& positions, RangeFn&& range_of,
+                     ThreadPool* pool) {
+    auto scan_tile = [&](std::size_t t) {
+      Tile& tile = tiles_[t];
+      tile.dirty.clear();
+      tile.dirty_range.clear();
+      for (std::size_t s = 0; s < tile.members.size(); ++s) {
+        const NodeId m = tile.members[s];
+        double r = tile.built_range[s];
+        if (tile.on_battery[s]) r = range_of(m);
+        const Vec2 p = positions[m];
+        if (p.x != tile.built_x[s] || p.y != tile.built_y[s] ||
+            r != tile.built_range[s]) {
+          tile.dirty.push_back(m);
+          tile.dirty_range.push_back(r);
+        }
+      }
+    };
+    if (pool != nullptr && pool->size() > 1) {
+      parallel_for(*pool, tiles_.size(), scan_tile);
+    } else {
+      for (std::size_t t = 0; t < tiles_.size(); ++t) scan_tile(t);
+    }
+    // Deterministic ordered merge: tile order is fixed, and the global
+    // sort by id erases even that — the output is a pure function of the
+    // (positions, ranges) snapshot, independent of tiling and threads.
+    merged_.clear();
+    last_tiles_dirty_ = 0;
+    for (const Tile& tile : tiles_) {
+      if (tile.dirty.empty()) continue;
+      ++last_tiles_dirty_;
+      for (std::size_t k = 0; k < tile.dirty.size(); ++k)
+        merged_.push_back({tile.dirty[k], tile.dirty_range[k]});
+    }
+    std::sort(merged_.begin(), merged_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    dirty_ids_.clear();
+    dirty_ranges_.clear();
+    for (const auto& [id, r] : merged_) {
+      dirty_ids_.push_back(id);
+      dirty_ranges_.push_back(r);
+    }
+  }
+
+  /// The last scan's dirty nodes, ascending, with their new quantized
+  /// ranges in lockstep.
+  const std::vector<NodeId>& dirty_ids() const { return dirty_ids_; }
+  const std::vector<double>& dirty_ranges() const { return dirty_ranges_; }
+  /// Tiles that contributed ≥1 dirty node in the last scan.
+  std::size_t last_tiles_dirty() const { return last_tiles_dirty_; }
+
+  /// Folds the last scan's dirty set back into the built snapshot:
+  /// built positions/ranges take the scanned values and members whose new
+  /// position crossed a tile boundary migrate buckets. Call after the
+  /// topology patch succeeded (mirrors built_positions_ upkeep).
+  void commit(const std::vector<Vec2>& positions);
+
+  /// Heap footprint (bytes/node accounting; O(tiles) walk).
+  std::size_t heap_bytes() const;
+
+ private:
+  struct Tile {
+    std::vector<NodeId> members;      // node id per slot
+    std::vector<double> built_x;      // SoA built position, x
+    std::vector<double> built_y;      // SoA built position, y
+    std::vector<double> built_range;  // built quantized range
+    std::vector<char> on_battery;     // 1 ⇒ range can drift per step
+    std::vector<NodeId> dirty;        // scan scratch
+    std::vector<double> dirty_range;  // scan scratch
+  };
+
+  std::size_t tile_of_pos(Vec2 p) const;
+  void insert_member(std::size_t tile, NodeId m, Vec2 pos, double range,
+                     bool battery);
+  /// Swap-erase `m` from its tile, fixing the displaced member's slot.
+  void remove_member(NodeId m);
+
+  Aabb bounds_;
+  double tile_size_ = 1.0;
+  int cols_ = 1;
+  int rows_ = 1;
+  std::vector<Tile> tiles_;
+  DenseBitset maybe_dirty_mask_;
+  std::vector<std::uint32_t> tile_of_;  // per node; kInvalidNode ⇒ not a member
+  std::vector<std::uint32_t> slot_of_;
+  std::vector<std::pair<NodeId, double>> merged_;  // merge scratch
+  std::vector<NodeId> dirty_ids_;
+  std::vector<double> dirty_ranges_;
+  std::size_t last_tiles_dirty_ = 0;
+};
+
+}  // namespace agentnet

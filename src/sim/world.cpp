@@ -1,5 +1,6 @@
 #include "sim/world.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/env.hpp"
@@ -25,6 +26,13 @@ World::World(Aabb bounds, std::vector<Vec2> initial_positions,
   incremental_ = env_bool("AGENTNET_TOPO_INCREMENTAL", true);
   quantum_ = env_double("AGENTNET_TOPO_RANGE_QUANTUM", 0.0);
   AGENTNET_REQUIRE(quantum_ >= 0.0, "range quantum must be >= 0");
+  shard_tile_factor_ = env_double("AGENTNET_TOPO_SHARD_TILE", 4.0);
+  AGENTNET_REQUIRE(shard_tile_factor_ > 0.0, "shard tile factor must be > 0");
+  const auto threads_knob = env_int("AGENTNET_TOPO_SHARD_THREADS", 1);
+  AGENTNET_REQUIRE(threads_knob >= 0, "shard threads must be >= 0");
+  shard_threads_ = threads_knob == 0
+                       ? ThreadPool::default_threads()
+                       : static_cast<std::size_t>(threads_knob);
   // Only nodes that can move or discharge can ever dirty the topology;
   // stationary mains-powered nodes (gateways, frozen mapping networks) are
   // clean forever and cost nothing per advance().
@@ -37,6 +45,18 @@ World::World(Aabb bounds, std::vector<Vec2> initial_positions,
   built_positions_ = positions_;
   builder_.build_into(geo_graph_, positions_, ranges_);
   refresh_effective(true);
+  // AGENTNET_TOPO_SHARD: "auto" (default) turns sharded upkeep on from
+  // AGENTNET_TOPO_SHARD_MIN_NODES nodes; explicit on/off overrides.
+  const auto shard_env = env_string("AGENTNET_TOPO_SHARD");
+  bool want_sharded;
+  if (!shard_env || *shard_env == "auto") {
+    const auto min_nodes = env_int("AGENTNET_TOPO_SHARD_MIN_NODES", 4096);
+    want_sharded = min_nodes >= 0 &&
+                   positions_.size() >= static_cast<std::size_t>(min_nodes);
+  } else {
+    want_sharded = env_bool("AGENTNET_TOPO_SHARD", false);
+  }
+  if (want_sharded) set_sharding(true);
 }
 
 World World::frozen(const GeneratedNetwork& net) {
@@ -64,6 +84,8 @@ World World::fixed(Graph graph) {
               std::move(mains), std::make_unique<StationaryMobility>(),
               LinkPolicy::kDirected);
   world.fixed_topology_ = true;
+  world.sharded_ = false;  // pinned graph: no upkeep, no shard structures
+  world.shards_.reset();
   world.geo_graph_ = std::move(graph);
   world.csr_.rebuild_from(world.geo_graph_);
   return world;
@@ -106,6 +128,10 @@ void World::collect_dirty() {
 
 void World::refresh_topology() {
   if (fixed_topology_) return;  // pinned graph (and its CSR) never change
+  if (sharded_) {
+    refresh_topology_sharded();
+    return;
+  }
   collect_dirty();
   bool geo_changed = false;
   if (!dirty_.empty()) {
@@ -123,6 +149,43 @@ void World::refresh_topology() {
     }
   }
   refresh_effective(geo_changed);
+}
+
+void World::refresh_topology_sharded() {
+  // Tile-local scan; the merged output is the same ascending dirty set the
+  // flat collect_dirty() produces, so everything downstream matches.
+  shards_->collect_dirty(
+      positions_, [this](NodeId m) { return quantized_range(m); },
+      shard_pool());
+  const std::vector<NodeId>& dirty = shards_->dirty_ids();
+  bool geo_changed = false;
+  touched_rows_.clear();
+  if (!dirty.empty()) {
+    ++state_epoch_;
+    AGENTNET_COUNT_N(kTopoNodesDirty, dirty.size());
+    AGENTNET_COUNT_N(kShardTilesDirty, shards_->last_tiles_dirty());
+    const std::vector<double>& new_ranges = shards_->dirty_ranges();
+    for (std::size_t k = 0; k < dirty.size(); ++k)
+      ranges_[dirty[k]] = new_ranges[k];
+    TopologyBuilder::UpdateOptions opts;
+    opts.pool = shard_pool();
+    opts.touched_rows = &touched_rows_;
+    geo_changed =
+        builder_.update_into(geo_graph_, dirty, positions_, ranges_, opts);
+    for (NodeId u : dirty) built_positions_[u] = positions_[u];
+    shards_->commit(positions_);
+    // Halo rows: modified rows that were not themselves dirty — clean
+    // neighbours fixed up across tile boundaries. Two-pointer walk over
+    // the two ascending lists.
+    std::size_t halo = 0;
+    std::size_t d = 0;
+    for (NodeId u : touched_rows_) {
+      while (d < dirty.size() && dirty[d] < u) ++d;
+      if (d == dirty.size() || dirty[d] != u) ++halo;
+    }
+    AGENTNET_COUNT_N(kShardHaloRows, halo);
+  }
+  refresh_effective_sharded(geo_changed);
 }
 
 void World::rebuild_flapped() {
@@ -170,6 +233,133 @@ void World::refresh_effective(bool geo_changed) {
   }
 }
 
+void World::refresh_effective_sharded(bool geo_changed) {
+  // Mirrors refresh_effective() decision for decision — same epoch bumps,
+  // same counter emissions — but replaces every wholesale rebuild with
+  // per-row patching of the rows listed in touched_rows_.
+  bool effective_changed;
+  if (weather_active_) {
+    const std::uint64_t window = step_ / flapper_->persistence();
+    if (!flapped_valid_ || window != flap_window_) {
+      // Window boundary: the whole weather draw changes — full rebuild,
+      // exactly like the flat path (it pays O(E) here too).
+      rebuild_flapped();
+      effective_changed = !flapped_valid_ || !(back_flapped_ == flapped_);
+      std::swap(flapped_, back_flapped_);
+      flapped_valid_ = true;
+      flap_window_ = window;
+      rebuild_flap_row_drops();
+      if (effective_changed) {
+        csr_.rebuild_padded_from(flapped_);
+        ++epoch_;
+      } else {
+        AGENTNET_COUNT(kDerivedCacheHits);
+      }
+      return;
+    }
+    // Same window: down(u,v) is frozen, so only rows whose geometry
+    // changed can differ. Re-filter exactly those, maintaining the
+    // running drop total so kLinkFlaps matches the flat path's recount.
+    effective_changed = false;
+    bool csr_fits = true;
+    for (NodeId u : touched_rows_) {
+      flap_scratch_.clear();
+      std::uint32_t drops = 0;
+      for (NodeId v : geo_graph_.out_neighbors(u)) {
+        if (flapper_->down(u, v, step_))
+          ++drops;
+        else
+          flap_scratch_.push_back(v);
+      }
+      const auto old_row = flapped_.out_neighbors(u);
+      if (!std::equal(old_row.begin(), old_row.end(), flap_scratch_.begin(),
+                      flap_scratch_.end()))
+        effective_changed = true;
+      flapped_.assign_out_edges(u, flap_scratch_);
+      flap_drops_ += drops;
+      flap_drops_ -= flap_row_drops_[u];
+      flap_row_drops_[u] = drops;
+      if (csr_fits) csr_fits = csr_.patch_row(u, flap_scratch_);
+    }
+    if (!csr_fits) csr_.rebuild_padded_from(flapped_);
+    AGENTNET_COUNT_N(kLinkFlaps, flap_drops_);
+  } else {
+    effective_changed = geo_changed;
+    if (effective_changed) {
+      for (NodeId u : touched_rows_) {
+        if (!csr_.patch_row(u, geo_graph_.out_neighbors(u))) {
+          csr_.rebuild_padded_from(geo_graph_);
+          break;
+        }
+      }
+    }
+  }
+  if (effective_changed) {
+    ++epoch_;
+  } else {
+    AGENTNET_COUNT(kDerivedCacheHits);  // CSR snapshot stayed warm
+  }
+}
+
+void World::rebuild_flap_row_drops() {
+  const std::size_t n = geo_graph_.node_count();
+  flap_row_drops_.assign(n, 0);
+  for (NodeId u = 0; u < n; ++u)
+    flap_row_drops_[u] = static_cast<std::uint32_t>(
+        geo_graph_.out_degree(u) - flapped_.out_degree(u));
+}
+
+void World::init_shards() {
+  const double tile =
+      std::max(radio_.max_base_range() * shard_tile_factor_, 1e-9);
+  shards_ = std::make_unique<WorldShards>(bounds_, tile, maybe_dirty_,
+                                          built_positions_, ranges_,
+                                          batteries_);
+  csr_.rebuild_padded_from(graph());
+  if (weather_active_ && flapped_valid_) rebuild_flap_row_drops();
+}
+
+void World::set_sharding(bool sharded) {
+  AGENTNET_REQUIRE(!fixed_topology_ || !sharded,
+                   "fixed-topology worlds do not shard");
+  if (sharded == sharded_) return;
+  sharded_ = sharded;
+  if (sharded_) {
+    init_shards();
+  } else {
+    shards_.reset();
+    csr_.rebuild_from(graph());  // repack dense; logically unchanged
+  }
+}
+
+void World::set_shard_threads(std::size_t threads) {
+  shard_threads_ = threads == 0 ? ThreadPool::default_threads() : threads;
+  if (shard_pool_ && shard_pool_->size() != shard_threads_)
+    shard_pool_.reset();
+}
+
+ThreadPool* World::shard_pool() {
+  if (shard_threads_ <= 1) return nullptr;
+  if (!shard_pool_) shard_pool_ = std::make_unique<ThreadPool>(shard_threads_);
+  return shard_pool_.get();
+}
+
+std::size_t World::memory_bytes() const {
+  std::size_t bytes = positions_.capacity() * sizeof(Vec2) +
+                      built_positions_.capacity() * sizeof(Vec2) +
+                      ranges_.capacity() * sizeof(double) +
+                      maybe_dirty_.capacity() * sizeof(NodeId) +
+                      dirty_.capacity() * sizeof(NodeId) +
+                      touched_rows_.capacity() * sizeof(NodeId) +
+                      flap_row_drops_.capacity() * sizeof(std::uint32_t) +
+                      geo_graph_.heap_bytes() + back_graph_.heap_bytes() +
+                      csr_.heap_bytes() + builder_.heap_bytes();
+  if (weather_active_)
+    bytes += flapped_.heap_bytes() + back_flapped_.heap_bytes();
+  if (shards_) bytes += shards_->heap_bytes();
+  return bytes;
+}
+
 void World::save_state(snapshot::ByteWriter& w) const {
   w.size(positions_.size());
   for (const Vec2& p : positions_) {
@@ -208,7 +398,14 @@ void World::load_state(snapshot::ByteReader& r) {
       flapped_valid_ = true;
       flap_window_ = step_ / flapper_->persistence();
     }
-    csr_.rebuild_from(graph());
+    if (sharded_) {
+      // Shard tiles, padded CSR and weather row counts are all derived
+      // state — rebuilt here, never serialized, so the snapshot bytes are
+      // identical to a flat world's.
+      init_shards();
+    } else {
+      csr_.rebuild_from(graph());
+    }
   }
   // The epoch counters are restored directly (not bumped by the rebuilds
   // above) so derived-state caches keyed on them stay coherent.
@@ -230,7 +427,12 @@ void World::set_link_flapper(std::optional<LinkFlapper> flapper) {
     flapped_valid_ = true;
     flap_window_ = step_ / flapper_->persistence();
   }
-  csr_.rebuild_from(graph());
+  if (sharded_) {
+    csr_.rebuild_padded_from(graph());
+    if (weather_active_) rebuild_flap_row_drops();
+  } else {
+    csr_.rebuild_from(graph());
+  }
   ++epoch_;
 }
 

@@ -14,6 +14,14 @@
 // Both paths produce bit-identical graphs; epoch() counts the steps where
 // the edge set actually changed, so derived-state consumers can memoise on
 // it (docs/PERFORMANCE.md, "Incremental topology maintenance").
+//
+// At scale (AGENTNET_TOPO_SHARD, auto-on from AGENTNET_TOPO_SHARD_MIN_NODES
+// nodes) upkeep additionally runs *sharded*: the maybe-dirty set lives in
+// spatial tiles with SoA built state (sim/shard.hpp), the dirty scan is
+// tile-local and can fan out over a thread pool, and the frozen CSR is
+// patched row-by-row instead of refrozen wholesale. Sharded advance() is
+// bit-identical to the flat path at any thread count — same graphs, same
+// epochs, same checkpoint bytes (docs/PERFORMANCE.md, "Sharded world").
 #pragma once
 
 #include <cstdint>
@@ -29,6 +37,7 @@
 #include "net/link_noise.hpp"
 #include "net/topology.hpp"
 #include "radio/range_model.hpp"
+#include "sim/shard.hpp"
 
 namespace agentnet {
 
@@ -101,6 +110,27 @@ class World {
   }
   bool incremental_topology() const { return incremental_; }
 
+  /// Selects spatially sharded topology upkeep (sim/shard.hpp): tile-local
+  /// dirty scans, per-row CSR patching, optional thread fan-out. Defaults
+  /// from AGENTNET_TOPO_SHARD — "auto" (on from AGENTNET_TOPO_SHARD_MIN_NODES
+  /// nodes, default 4096), or an explicit on/off. Sharded upkeep takes
+  /// precedence over the incremental/full toggle and keeps every structure
+  /// in sync, so toggling mid-run is safe and never changes results.
+  void set_sharding(bool sharded);
+  bool sharded() const { return sharded_; }
+
+  /// Worker threads for the sharded dirty scan and row gather; 1 (the
+  /// default, or AGENTNET_TOPO_SHARD_THREADS) is the exact serial path and
+  /// every setting is bit-identical — threads only redistribute tile-local
+  /// work (0 resolves AGENTNET_THREADS / hardware concurrency).
+  void set_shard_threads(std::size_t threads);
+  std::size_t shard_threads() const { return shard_threads_; }
+
+  /// Approximate heap footprint of the world's live structures — node
+  /// state, graphs, CSR, builder grid, shard tiles. The scale benches
+  /// report this as bytes/node; O(n) walk, not for hot paths.
+  std::size_t memory_bytes() const;
+
   /// Installs (or clears) link weather: down links are removed from the
   /// graph() view (the geometric topology is kept separately so
   /// incremental upkeep can diff against it). Takes effect immediately.
@@ -134,6 +164,18 @@ class World {
   /// counting the drops (kLinkFlaps totals match the historical
   /// apply-every-step path).
   void rebuild_flapped();
+  /// The sharded advance() tail: tile scan, parallel row gather, CSR row
+  /// patching. Bit-identical to refresh_topology()'s flat body.
+  void refresh_topology_sharded();
+  /// Sharded counterpart of refresh_effective(): patches weather rows and
+  /// CSR rows listed in touched_rows_ instead of rebuilding wholesale.
+  void refresh_effective_sharded(bool geo_changed);
+  /// (Re)builds the shard tiles + padded CSR from the current built state.
+  void init_shards();
+  /// Refreshes flap_row_drops_ (per-row weather drop counts) from the
+  /// current geo/flapped pair; sharded weather bookkeeping.
+  void rebuild_flap_row_drops();
+  ThreadPool* shard_pool();
 
   Aabb bounds_;
   std::vector<Vec2> positions_;
@@ -161,6 +203,16 @@ class World {
   std::uint64_t flap_window_ = 0;
   std::size_t flap_drops_ = 0;  ///< Drops in the last weather rebuild.
   bool incremental_ = true;
+  // Sharded upkeep (docs/PERFORMANCE.md, "Sharded world"). All of it is
+  // derived state: checkpoints never serialize shard structures, load_state
+  // rebuilds them, so snapshots stay byte-compatible with flat worlds.
+  std::unique_ptr<WorldShards> shards_;
+  std::unique_ptr<ThreadPool> shard_pool_;
+  std::vector<NodeId> touched_rows_;  ///< update_into() modified-row output.
+  std::vector<std::uint32_t> flap_row_drops_;  ///< Weather drops per row.
+  bool sharded_ = false;
+  std::size_t shard_threads_ = 1;
+  double shard_tile_factor_ = 4.0;
   double quantum_ = 0.0;
   std::uint64_t epoch_ = 0;
   std::uint64_t state_epoch_ = 0;

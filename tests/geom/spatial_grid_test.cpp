@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -162,6 +164,65 @@ TEST(SpatialGridTest, ForEachVisitsEveryMatchOnce) {
                        [&](std::size_t j) { seen.push_back(j); });
   std::sort(seen.begin(), seen.end());
   EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Scale hazards: huge arenas and tiny cells must not overflow the cell
+// count (kMaxCells coarsening), and non-finite geometry is rejected loudly.
+
+TEST(SpatialGridTest, RejectsNonFiniteGeometry) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(SpatialGrid(kArena, inf), ConfigError);
+  EXPECT_THROW(SpatialGrid(kArena, nan), ConfigError);
+  EXPECT_THROW(SpatialGrid({{0.0, 0.0}, {inf, 100.0}}, 10.0), ConfigError);
+  EXPECT_THROW(SpatialGrid({{nan, 0.0}, {100.0, 100.0}}, 10.0), ConfigError);
+  EXPECT_THROW(SpatialGrid(kArena, -1.0), ConfigError);
+}
+
+TEST(SpatialGridTest, HugeBoundsCoarsenCellSizeInsteadOfOverflowing) {
+  // 1e9 × 1e9 arena with cell size 1 would want 1e18 cells — far beyond
+  // any int. Construction must coarsen until cols*rows <= kMaxCells.
+  const Aabb huge{{0.0, 0.0}, {1e9, 1e9}};
+  SpatialGrid grid(huge, 1.0);
+  EXPECT_GT(grid.cell_size(), 1.0);  // was coarsened
+  const double cols = std::ceil(1e9 / grid.cell_size());
+  EXPECT_LE(cols * cols, static_cast<double>(SpatialGrid::kMaxCells));
+  // Queries still work and stay exact on the coarse grid.
+  grid.rebuild({{1.0, 1.0}, {5e8, 5e8}, {999999999.0, 1.0}});
+  EXPECT_EQ(grid.query({1.0, 1.0}, 10.0), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(grid.query({5e8, 5e8}, 1.0), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(grid.query({0.0, 0.0}, 2e9).size(), 3u);
+}
+
+TEST(SpatialGridTest, ExtremeAspectRatioStaysWithinCap) {
+  // A ribbon arena: 1e12 long, 1 tall. The 1-D cell count alone would
+  // overflow a 32-bit int without the cap.
+  SpatialGrid grid({{0.0, 0.0}, {1e12, 1.0}}, 0.5);
+  const double cols = std::ceil(1e12 / grid.cell_size());
+  EXPECT_LE(cols, static_cast<double>(SpatialGrid::kMaxCells));
+  grid.rebuild({{0.5, 0.5}, {1e12 - 0.5, 0.5}});
+  EXPECT_EQ(grid.query({0.0, 0.5}, 1.0), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(grid.query({1e12, 0.5}, 1.0), (std::vector<std::size_t>{1}));
+}
+
+TEST(SpatialGridTest, CoarsenedGridMatchesBruteForce) {
+  // Force heavy coarsening, then verify exactness survives it.
+  const Aabb arena{{0.0, 0.0}, {1e8, 1e8}};
+  Rng rng(77);
+  std::vector<Vec2> points;
+  for (int i = 0; i < 200; ++i)
+    points.push_back({rng.uniform_real(0.0, 1e8), rng.uniform_real(0.0, 1e8)});
+  SpatialGrid grid(arena, 0.001);  // absurdly fine request
+  grid.rebuild(points);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec2 q{rng.uniform_real(0.0, 1e8), rng.uniform_real(0.0, 1e8)};
+    const double radius = rng.uniform_real(0.0, 3e7);
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < points.size(); ++i)
+      if (distance(q, points[i]) <= radius) expected.push_back(i);
+    EXPECT_EQ(grid.query(q, radius), expected);
+  }
 }
 
 }  // namespace

@@ -328,11 +328,14 @@ TEST(IncrementalEquivalenceTest, LockstepMatchesFullAcrossPoliciesAndWeather) {
           churn_scenario(policy, 11 + static_cast<std::uint64_t>(policy));
       World full = scenario.make_world();
       World incr = scenario.make_world();
+      World shard = scenario.make_world();
       full.set_incremental_topology(false);
       incr.set_incremental_topology(true);
+      shard.set_sharding(true);  // third upkeep mode, same contract
       if (weather) {
         full.set_link_flapper(LinkFlapper(0.15, 3, 0xF1A9));
         incr.set_link_flapper(LinkFlapper(0.15, 3, 0xF1A9));
+        shard.set_link_flapper(LinkFlapper(0.15, 3, 0xF1A9));
       }
       for (int step = 0; step < 35; ++step) {
         ASSERT_EQ(incr.graph(), full.graph())
@@ -341,8 +344,14 @@ TEST(IncrementalEquivalenceTest, LockstepMatchesFullAcrossPoliciesAndWeather) {
         ASSERT_EQ(incr.csr(), full.csr());
         ASSERT_EQ(incr.csr(), CsrView(incr.graph()));
         ASSERT_EQ(incr.epoch(), full.epoch());
+        ASSERT_EQ(shard.graph(), full.graph())
+            << "sharded, policy " << static_cast<int>(policy) << " weather "
+            << weather << " step " << step;
+        ASSERT_EQ(shard.csr(), full.csr());
+        ASSERT_EQ(shard.epoch(), full.epoch());
         full.advance();
         incr.advance();
+        shard.advance();
       }
     }
   }

@@ -1,0 +1,342 @@
+// Sharded-world equivalence suite (ctest label: perf).
+//
+// The contract under test (docs/PERFORMANCE.md, "Sharded world"): sharded
+// advance() is bit-identical to the flat path — same graphs, same CSR, same
+// epoch()/state_epoch(), same fault masks, same checkpoint bytes — across
+// link policies, mobility, link weather, fault plans and shard thread
+// counts {1, 2, 7}; plus halo-edge goldens for links that cross tile
+// boundaries and the env knobs that select the mode.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/routing_task.hpp"
+#include "energy/battery.hpp"
+#include "fault/fault_injector.hpp"
+#include "mobility/mobility.hpp"
+#include "net/link_noise.hpp"
+#include "obs/scope.hpp"
+#include "radio/range_model.hpp"
+#include "sim/shard.hpp"
+#include "sim/world.hpp"
+#include "snapshot/bytes.hpp"
+
+namespace agentnet {
+namespace {
+
+RoutingScenario churn_scenario(LinkPolicy policy, std::uint64_t seed) {
+  RoutingScenarioParams params;
+  params.node_count = 45;
+  params.gateway_count = 4;
+  params.bounds = {{0.0, 0.0}, {420.0, 420.0}};
+  params.trace_steps = 40;
+  params.policy = policy;
+  return RoutingScenario(params, seed);
+}
+
+void expect_lockstep_equal(World& sharded, World& flat, int steps,
+                           const char* what) {
+  for (int step = 0; step < steps; ++step) {
+    ASSERT_EQ(sharded.graph(), flat.graph()) << what << " step " << step;
+    ASSERT_EQ(sharded.csr(), flat.csr()) << what << " step " << step;
+    ASSERT_EQ(sharded.csr(), CsrView(sharded.graph()))
+        << what << " step " << step;
+    ASSERT_EQ(sharded.epoch(), flat.epoch()) << what << " step " << step;
+    ASSERT_EQ(sharded.state_epoch(), flat.state_epoch())
+        << what << " step " << step;
+    sharded.advance();
+    flat.advance();
+  }
+}
+
+TEST(ShardedWorldTest, LockstepMatchesFlatAcrossPoliciesWeatherAndThreads) {
+  for (LinkPolicy policy : {LinkPolicy::kDirected, LinkPolicy::kSymmetricAnd,
+                            LinkPolicy::kSymmetricOr}) {
+    for (bool weather : {false, true}) {
+      for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{7}}) {
+        const RoutingScenario scenario =
+            churn_scenario(policy, 11 + static_cast<std::uint64_t>(policy));
+        World flat = scenario.make_world();
+        World sharded = scenario.make_world();
+        flat.set_sharding(false);
+        sharded.set_sharding(true);
+        sharded.set_shard_threads(threads);
+        ASSERT_TRUE(sharded.sharded());
+        ASSERT_FALSE(flat.sharded());
+        if (weather) {
+          flat.set_link_flapper(LinkFlapper(0.15, 3, 0xF1A9));
+          sharded.set_link_flapper(LinkFlapper(0.15, 3, 0xF1A9));
+        }
+        expect_lockstep_equal(sharded, flat, 35, "sharded-vs-flat");
+      }
+    }
+  }
+}
+
+TEST(ShardedWorldTest, RangeQuantizationKeepsModesIdentical) {
+  ASSERT_EQ(setenv("AGENTNET_TOPO_RANGE_QUANTUM", "7.5", 1), 0);
+  const RoutingScenario scenario =
+      churn_scenario(LinkPolicy::kSymmetricAnd, 37);
+  World flat = scenario.make_world();
+  World sharded = scenario.make_world();
+  ASSERT_EQ(unsetenv("AGENTNET_TOPO_RANGE_QUANTUM"), 0);
+  flat.set_sharding(false);
+  sharded.set_sharding(true);
+  sharded.set_shard_threads(2);
+  expect_lockstep_equal(sharded, flat, 30, "quantized");
+}
+
+TEST(ShardedWorldTest, FaultMasksAndDropTotalsMatchFlatUnderFaultPlans) {
+  FaultPlan plan;
+  plan.node_crash_probability = 0.04;
+  plan.crash_persistence = 5;
+  plan.burst_drop_probability = 0.1;
+  plan.burst_persistence = 3;
+  plan.blackouts.push_back(Blackout{{210.0, 210.0}, 120.0, 8, 12});
+  plan.weather_seed = 0xD00D;
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{7}}) {
+    const RoutingScenario scenario =
+        churn_scenario(LinkPolicy::kSymmetricAnd, 31);
+    World flat = scenario.make_world();
+    World sharded = scenario.make_world();
+    flat.set_sharding(false);
+    sharded.set_sharding(true);
+    sharded.set_shard_threads(threads);
+    flat.set_link_flapper(LinkFlapper(0.1, 4, 0xABCD));
+    sharded.set_link_flapper(LinkFlapper(0.1, 4, 0xABCD));
+    FaultInjector flat_inj(plan, Rng(1));
+    FaultInjector sharded_inj(plan, Rng(1));
+    obs::RunObs flat_obs, sharded_obs;
+    for (int step = 0; step < 35; ++step) {
+      {
+        obs::ObsRunScope scope(flat_obs);
+        const Graph& a = flat_inj.live_graph(flat, flat.step());
+        obs::ObsRunScope scope2(sharded_obs);
+        const Graph& b = sharded_inj.live_graph(sharded, sharded.step());
+        ASSERT_EQ(b, a) << "threads " << threads << " step " << step;
+      }
+      {
+        obs::ObsRunScope scope(flat_obs);
+        flat.advance();
+      }
+      {
+        obs::ObsRunScope scope(sharded_obs);
+        sharded.advance();
+      }
+    }
+    EXPECT_EQ(sharded_obs.counters.value(obs::Counter::kFaultLinkDrops),
+              flat_obs.counters.value(obs::Counter::kFaultLinkDrops));
+    // Weather totals must agree too — the sharded path maintains a running
+    // per-row drop total instead of recounting, and the totals may not
+    // drift by a single link.
+    EXPECT_EQ(sharded_obs.counters.value(obs::Counter::kLinkFlaps),
+              flat_obs.counters.value(obs::Counter::kLinkFlaps));
+    EXPECT_EQ(sharded_obs.counters.value(obs::Counter::kTopoNodesDirty),
+              flat_obs.counters.value(obs::Counter::kTopoNodesDirty));
+  }
+}
+
+TEST(ShardedWorldTest, CheckpointBytesMatchFlatAndResumeBitIdentical) {
+  const RoutingScenario scenario =
+      churn_scenario(LinkPolicy::kSymmetricAnd, 53);
+  World flat = scenario.make_world();
+  World sharded = scenario.make_world();
+  flat.set_sharding(false);
+  sharded.set_sharding(true);
+  sharded.set_shard_threads(2);
+  flat.set_link_flapper(LinkFlapper(0.12, 4, 0xC0DE));
+  sharded.set_link_flapper(LinkFlapper(0.12, 4, 0xC0DE));
+  for (int step = 0; step < 13; ++step) {
+    flat.advance();
+    sharded.advance();
+  }
+  // A sharded world's snapshot is byte-identical to the flat twin's: shard
+  // structures are derived state and never serialized.
+  snapshot::ByteWriter flat_bytes, sharded_bytes;
+  flat.save_state(flat_bytes);
+  sharded.save_state(sharded_bytes);
+  ASSERT_EQ(sharded_bytes.bytes(), flat_bytes.bytes());
+
+  // Restoring into a sharded world reproduces the run bit for bit — in
+  // lockstep with the uninterrupted sharded world AND with a flat restore.
+  World resumed_sharded = scenario.make_world();
+  resumed_sharded.set_sharding(true);
+  resumed_sharded.set_shard_threads(7);
+  resumed_sharded.set_link_flapper(LinkFlapper(0.12, 4, 0xC0DE));
+  snapshot::ByteReader r1(sharded_bytes.bytes());
+  resumed_sharded.load_state(r1);
+  World resumed_flat = scenario.make_world();
+  resumed_flat.set_sharding(false);
+  resumed_flat.set_link_flapper(LinkFlapper(0.12, 4, 0xC0DE));
+  snapshot::ByteReader r2(flat_bytes.bytes());
+  resumed_flat.load_state(r2);
+  ASSERT_EQ(resumed_sharded.graph(), sharded.graph());
+  ASSERT_EQ(resumed_sharded.csr(), sharded.csr());
+  for (int step = 0; step < 12; ++step) {
+    ASSERT_EQ(resumed_sharded.graph(), resumed_flat.graph())
+        << "step " << step;
+    ASSERT_EQ(resumed_sharded.graph(), sharded.graph()) << "step " << step;
+    ASSERT_EQ(resumed_sharded.epoch(), sharded.epoch()) << "step " << step;
+    resumed_sharded.advance();
+    resumed_flat.advance();
+    sharded.advance();
+  }
+}
+
+TEST(ShardedWorldTest, MidRuntogglesNeverChangeResults) {
+  const RoutingScenario scenario =
+      churn_scenario(LinkPolicy::kDirected, 61);
+  World reference = scenario.make_world();
+  World toggled = scenario.make_world();
+  reference.set_sharding(false);
+  toggled.set_sharding(false);
+  for (int step = 0; step < 40; ++step) {
+    if (step == 10) toggled.set_sharding(true);
+    if (step == 20) toggled.set_sharding(false);
+    if (step == 30) toggled.set_sharding(true);
+    ASSERT_EQ(toggled.graph(), reference.graph()) << "step " << step;
+    ASSERT_EQ(toggled.csr(), reference.csr()) << "step " << step;
+    ASSERT_EQ(toggled.epoch(), reference.epoch()) << "step " << step;
+    toggled.advance();
+    reference.advance();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Halo-edge golden: a mobile node approaches a stationary clean node that
+// lives in a *different* tile. The link must appear via halo exchange (the
+// clean node's row is patched without the node ever being dirty), the CSR
+// must track it, and the shard counters must record exactly the expected
+// tile/halo work.
+
+/// Replays an explicit per-step position script (golden-test mobility).
+class ScriptedMobility final : public MobilityModel {
+ public:
+  ScriptedMobility(std::vector<std::vector<Vec2>> frames,
+                   std::vector<bool> mobile)
+      : frames_(std::move(frames)), mobile_(std::move(mobile)) {}
+
+  void step(std::vector<Vec2>& positions) override {
+    if (cursor_ < frames_.size()) positions = frames_[cursor_++];
+  }
+  bool is_stationary(std::size_t node) const override {
+    return !mobile_[node];
+  }
+
+ private:
+  std::vector<std::vector<Vec2>> frames_;
+  std::vector<bool> mobile_;
+  std::size_t cursor_ = 0;
+};
+
+TEST(ShardedWorldTest, HaloEdgeGoldenAcrossTileBoundary) {
+  // Arena 40×10, range 10, tile factor 1 ⇒ tile edge 10 ⇒ 4×1 tiles.
+  // Node 0: stationary mains at (5,5) — never maybe-dirty, tile 0.
+  // Node 1: scripted, starts at (16,5) in tile 1, walks left 2/step:
+  //   x = 14, 12, 10, 8, 6 — the link (distance ≤ 10) appears at x=14 and
+  //   node 1 migrates into tile 0 when x reaches 8.
+  ASSERT_EQ(setenv("AGENTNET_TOPO_SHARD", "1", 1), 0);
+  ASSERT_EQ(setenv("AGENTNET_TOPO_SHARD_TILE", "1.0", 1), 0);
+  const Aabb bounds{{0.0, 0.0}, {40.0, 10.0}};
+  std::vector<Vec2> start{{5.0, 5.0}, {16.0, 5.0}};
+  std::vector<std::vector<Vec2>> frames;
+  for (double x : {14.0, 12.0, 10.0, 8.0, 6.0})
+    frames.push_back({{5.0, 5.0}, {x, 5.0}});
+  World world(bounds, start, RadioModel({10.0, 10.0}, RangeScaling{1.0}),
+              BatteryBank(2, {false, false}, BatteryParams{}),
+              std::make_unique<ScriptedMobility>(frames,
+                                                 std::vector<bool>{false,
+                                                                   true}),
+              LinkPolicy::kSymmetricAnd);
+  ASSERT_EQ(unsetenv("AGENTNET_TOPO_SHARD"), 0);
+  ASSERT_EQ(unsetenv("AGENTNET_TOPO_SHARD_TILE"), 0);
+  ASSERT_TRUE(world.sharded());
+
+  ASSERT_FALSE(world.graph().has_edge(0, 1));  // 11 apart at start
+  obs::RunObs run;
+  const std::uint64_t epoch0 = world.epoch();
+  const std::uint64_t state_epoch0 = world.state_epoch();
+  for (int step = 0; step < 5; ++step) {
+    obs::ObsRunScope scope(run);
+    world.advance();
+    EXPECT_TRUE(world.graph().has_edge(0, 1)) << "step " << step;
+    EXPECT_TRUE(world.graph().has_edge(1, 0)) << "step " << step;
+    EXPECT_TRUE(world.csr().has_edge(0, 1)) << "step " << step;
+    EXPECT_EQ(world.csr(), CsrView(world.graph())) << "step " << step;
+  }
+  // Golden counter values for the scripted walk: node 1 is dirty on all 5
+  // steps, always alone in its tile; node 0's row is patched exactly once
+  // (the step the link appeared) — one halo row, and the edge set changes
+  // only that step.
+  EXPECT_EQ(run.counters.value(obs::Counter::kTopoNodesDirty), 5u);
+  EXPECT_EQ(run.counters.value(obs::Counter::kShardTilesDirty), 5u);
+  EXPECT_EQ(run.counters.value(obs::Counter::kShardHaloRows), 1u);
+  EXPECT_EQ(world.epoch(), epoch0 + 1);
+  EXPECT_EQ(world.state_epoch(), state_epoch0 + 5);
+}
+
+TEST(ShardedWorldTest, EnvKnobsSelectShardingMode) {
+  RoutingScenarioParams params;
+  params.node_count = 30;
+  params.gateway_count = 3;
+  params.trace_steps = 10;
+  // Explicit on: sharded even far below the auto threshold.
+  ASSERT_EQ(setenv("AGENTNET_TOPO_SHARD", "1", 1), 0);
+  EXPECT_TRUE(RoutingScenario(params, 5).make_world().sharded());
+  // Explicit off.
+  ASSERT_EQ(setenv("AGENTNET_TOPO_SHARD", "0", 1), 0);
+  EXPECT_FALSE(RoutingScenario(params, 5).make_world().sharded());
+  // Auto: below the (lowered) threshold off, above it on.
+  ASSERT_EQ(setenv("AGENTNET_TOPO_SHARD", "auto", 1), 0);
+  ASSERT_EQ(setenv("AGENTNET_TOPO_SHARD_MIN_NODES", "31", 1), 0);
+  EXPECT_FALSE(RoutingScenario(params, 5).make_world().sharded());
+  ASSERT_EQ(setenv("AGENTNET_TOPO_SHARD_MIN_NODES", "30", 1), 0);
+  EXPECT_TRUE(RoutingScenario(params, 5).make_world().sharded());
+  ASSERT_EQ(unsetenv("AGENTNET_TOPO_SHARD"), 0);
+  ASSERT_EQ(unsetenv("AGENTNET_TOPO_SHARD_MIN_NODES"), 0);
+}
+
+TEST(ShardedWorldTest, StaticShardedWorldDoesZeroTopologyWork) {
+  RoutingScenarioParams params;
+  params.node_count = 40;
+  params.gateway_count = 4;
+  params.mobile_fraction = 0.0;  // nothing moves, nothing drains
+  params.trace_steps = 10;
+  const RoutingScenario scenario(params, 9);
+  World world = scenario.make_world();
+  world.set_sharding(true);
+  const std::uint64_t epoch = world.epoch();
+  const std::uint64_t state_epoch = world.state_epoch();
+  obs::RunObs run;
+  for (int step = 0; step < 10; ++step) {
+    obs::ObsRunScope scope(run);
+    world.advance();
+  }
+  EXPECT_EQ(world.epoch(), epoch);
+  EXPECT_EQ(world.state_epoch(), state_epoch);
+  EXPECT_EQ(run.counters.value(obs::Counter::kTopoNodesDirty), 0u);
+  EXPECT_EQ(run.counters.value(obs::Counter::kShardTilesDirty), 0u);
+  EXPECT_EQ(run.counters.value(obs::Counter::kShardHaloRows), 0u);
+  EXPECT_EQ(run.counters.value(obs::Counter::kDerivedCacheHits), 10u);
+}
+
+TEST(ShardedWorldTest, MemoryBytesCoversLiveStructures) {
+  const RoutingScenario scenario =
+      churn_scenario(LinkPolicy::kSymmetricAnd, 77);
+  World world = scenario.make_world();
+  world.set_sharding(false);
+  const std::size_t flat_bytes = world.memory_bytes();
+  EXPECT_GT(flat_bytes, world.node_count() * sizeof(Vec2));
+  world.set_sharding(true);
+  // Shard tiles add state; the accounting must see it.
+  EXPECT_GT(world.memory_bytes(), flat_bytes);
+}
+
+}  // namespace
+}  // namespace agentnet

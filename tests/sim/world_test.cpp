@@ -179,6 +179,29 @@ TEST(WorldTest, MobileWorldReportsTopologyWorkByMode) {
   EXPECT_EQ(full.rebuilds, 10u);
 }
 
+TEST(WorldTest, ShardedWorldReportsTileCounters) {
+  // Third upkeep mode: a sharded world reports dirty nodes and dirty
+  // tiles, never full rebuilds — and the one mobile node occupies exactly
+  // one tile per step.
+  BatteryBank batteries(2, {false, false}, {1.0, 0.0});
+  RandomDirectionMobility::Params movement{1.0, 2.0, 0.1};
+  auto mobility = std::make_unique<RandomDirectionMobility>(
+      kArena, std::vector<bool>{true, false}, movement, Rng(9));
+  World world(kArena, {{10.0, 10.0}, {30.0, 10.0}},
+              RadioModel({40.0, 40.0}, RangeScaling{1.0}),
+              std::move(batteries), std::move(mobility),
+              LinkPolicy::kDirected);
+  world.set_sharding(true);
+  obs::RunObs slot;
+  {
+    obs::ObsRunScope scope(slot);
+    for (int i = 0; i < 10; ++i) world.advance();
+  }
+  EXPECT_GE(slot.counters.value(obs::Counter::kTopoNodesDirty), 10u);
+  EXPECT_EQ(slot.counters.value(obs::Counter::kShardTilesDirty), 10u);
+  EXPECT_EQ(slot.counters.value(obs::Counter::kTopoFullRebuilds), 0u);
+}
+
 TEST(SeriesRecorderTest, CollectsValues) {
   SeriesRecorder rec;
   rec.record(1.0);

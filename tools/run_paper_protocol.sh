@@ -97,8 +97,10 @@ if [ "${1:-}" = "--smoke" ]; then
   build-tsan/tools/metrics_report diff "$tmp/route_m1.jsonl" \
     "$tmp/route_m2.jsonl"
   echo "##### hot-path equivalence suite (TSan)"
-  cmake --build build-tsan --target rebuild_equivalence_test -j"$(nproc)"
+  cmake --build build-tsan --target rebuild_equivalence_test \
+    sharded_world_test -j"$(nproc)"
   build-tsan/tests/rebuild_equivalence_test
+  build-tsan/tests/sharded_world_test
   echo "##### incremental topology bit-for-bit diff (TSan)"
   # One traced routing run per topology-upkeep mode: stdout tables and the
   # JSONL event stream must be byte-identical. (CSV counter footers are not
@@ -114,6 +116,19 @@ if [ "${1:-}" = "--smoke" ]; then
   diff "$tmp/route_full.out" "$tmp/route_incr.out"
   diff "$tmp/route_full.jsonl" "$tmp/route_incr.jsonl"
   echo "incremental and full topology runs are bit-identical"
+  echo "##### sharded world bit-for-bit diff (TSan, 7 shard threads)"
+  # The sharded advance fans the tile scan and row gather over a thread
+  # pool; under TSan, against the flat run, stdout tables and the JSONL
+  # event stream must still be byte-identical (docs/PERFORMANCE.md,
+  # "Sharded world"; counter footers differ by design — shard_tiles_dirty
+  # exists only in sharded mode).
+  AGENTNET_THREADS=7 AGENTNET_TOPO_SHARD=1 AGENTNET_TOPO_SHARD_THREADS=7 \
+    AGENTNET_TRACE="$tmp/route_shard.jsonl" \
+    build-tsan/examples/agentnet_cli scenario=routing nodes=50 gateways=4 \
+    population=10 runs=2 > "$tmp/route_shard.out"
+  diff "$tmp/route_full.out" "$tmp/route_shard.out"
+  diff "$tmp/route_full.jsonl" "$tmp/route_shard.jsonl"
+  echo "sharded and flat topology runs are bit-identical"
   echo "##### checkpoint/restore byte-identity (TSan + snapshot_inspect)"
   # Crash-tolerance proof (docs/ROBUSTNESS.md "Checkpoint/restore"): run a
   # traced+metered fault-injected routing experiment uninterrupted, run it
