@@ -45,6 +45,10 @@ inline void write_obs_report(std::ostream& os) {
       obs::snapshot(obs::current_obs().counters);
   for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
     const auto counter = static_cast<obs::Counter>(i);
+    // Bookkeeping counters track harness activity (checkpoint autosaves,
+    // agent-engine dispatches), so they would make this footer depend on
+    // AGENTNET_AGENT_THREADS / AGENTNET_CHECKPOINT instead of the run.
+    if (obs::is_bookkeeping_counter(counter)) continue;
     if (counters.values[i] == 0) continue;
     os << "# counter," << obs::counter_name(counter) << ","
        << counters.values[i] << "\n";

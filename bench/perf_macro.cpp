@@ -17,11 +17,14 @@
 #include <vector>
 
 #include "aco/ant_routing.hpp"
+#include "common/agent_parallel.hpp"
 #include "common/rng.hpp"
+#include "core/routing_task.hpp"
 #include "energy/battery.hpp"
 #include "geom/vec2.hpp"
 #include "mobility/mobility.hpp"
 #include "net/generators.hpp"
+#include "net/metrics.hpp"
 #include "obs/manifest.hpp"
 #include "radio/range_model.hpp"
 #include "sim/world.hpp"
@@ -195,6 +198,73 @@ void BM_Scale1MAdvanceSharded(benchmark::State& state) {
   scale_advance_loop(state, 1'000'000, true);
 }
 BENCHMARK(BM_Scale1MAdvanceSharded)->Iterations(8);
+
+// --- Agent-engine regime: Serial / ParallelAgents pairs sharing a stem.
+// --- The intra-run engine (AGENTNET_AGENT_THREADS) fans the per-step
+// --- agent phases and the per-root measurement walks over the shared
+// --- pool; outputs are bit-identical by contract, so the pair's only
+// --- observable is the steps/sec ratio, which tools/bench_gate floors —
+// --- but only when the host has more than one CPU (num_cpus in the
+// --- benchmark context), since a single-core pool can only add overhead.
+void dense_routing_task_loop(benchmark::State& state, std::size_t threads) {
+  RoutingScenarioParams params;
+  params.trace_steps = 48;
+  const RoutingScenario scenario(params, 2027);
+  RoutingTaskConfig task;
+  task.population = 250;  // dense team: one agent per node on average
+  task.agent.communicate = true;
+  task.steps = 32;
+  task.measure_from = 16;
+  task.agent_parallel.threads = threads;
+  for (auto _ : state) {
+    const auto result = run_routing_task(scenario, task, Rng(7));
+    benchmark::DoNotOptimize(result.mean_connectivity);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(task.steps));
+}
+
+void BM_AgentsDenseRoutingTaskSerial(benchmark::State& state) {
+  dense_routing_task_loop(state, 1);
+}
+BENCHMARK(BM_AgentsDenseRoutingTaskSerial)
+    ->Iterations(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AgentsDenseRoutingTaskParallelAgents(benchmark::State& state) {
+  dense_routing_task_loop(state, 0);  // 0 = one worker per hardware thread
+}
+BENCHMARK(BM_AgentsDenseRoutingTaskParallelAgents)
+    ->Iterations(8)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Measurement at scale: all-pairs BFS (mean shortest path) on the
+// --- n=2000 world, the embarrassingly parallel per-root fan-out the
+// --- engine accelerates best.
+void scale_measure_loop(benchmark::State& state, std::size_t threads) {
+  AgentParallelConfig config;
+  config.threads = threads;
+  const AgentParallel par(config);
+  World world = make_macro_world(scale_params(), true);
+  for (int i = 0; i < 4; ++i) world.advance();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mean_shortest_path(world.graph(), par));
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_AgentsScaleMeasureSerial(benchmark::State& state) {
+  scale_measure_loop(state, 1);
+}
+BENCHMARK(BM_AgentsScaleMeasureSerial)
+    ->Iterations(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AgentsScaleMeasureParallelAgents(benchmark::State& state) {
+  scale_measure_loop(state, 0);
+}
+BENCHMARK(BM_AgentsScaleMeasureParallelAgents)
+    ->Iterations(8)
+    ->Unit(benchmark::kMillisecond);
 
 // --- Traffic regime (informational, no Full/Incremental pair): the whole
 // --- loaded-network loop — delay-mode ants, flow generation, batch

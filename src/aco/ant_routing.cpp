@@ -39,22 +39,60 @@ double AntRoutingSystem::pheromone(NodeId from, NodeId to) const {
   return it == pheromone_[from].end() ? 0.0 : it->second;
 }
 
+namespace {
+
+// One row's normalized-entropy term; false when the row does not qualify.
+// Shared by the serial and parallel accumulations so both run the exact
+// same floating-point operations per row.
+bool entropy_term(const FlatMap<NodeId, double>& row, double& term) {
+  if (row.size() < 2) return false;
+  double total = 0.0;
+  for (const auto& [to, tau] : row)
+    if (tau > 0.0) total += tau;
+  if (total <= 0.0) return false;
+  double entropy = 0.0;
+  for (const auto& [to, tau] : row) {
+    if (tau <= 0.0) continue;
+    const double p = tau / total;
+    entropy -= p * std::log(p);
+  }
+  term = entropy / std::log(static_cast<double>(row.size()));
+  return true;
+}
+
+}  // namespace
+
 double AntRoutingSystem::pheromone_entropy() const {
+  const std::size_t n = pheromone_.size();
+  if (par_.active() && n >= 2) {
+    // Per-row term slots, summed serially in row order — the same
+    // left-to-right addition sequence as the serial loop, so the gauge is
+    // bit-identical at any thread count.
+    std::vector<double> terms(n, 0.0);
+    std::vector<char> qualifies(n, 0);
+    par_.for_each(n, [&](std::size_t u) {
+      double term = 0.0;
+      if (entropy_term(pheromone_[u], term)) {
+        terms[u] = term;
+        qualifies[u] = 1;
+      }
+    });
+    double sum = 0.0;
+    std::size_t rows = 0;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (qualifies[u]) {
+        sum += terms[u];
+        ++rows;
+      }
+    }
+    return rows == 0 ? 0.0 : sum / static_cast<double>(rows);
+  }
   double sum = 0.0;
   std::size_t rows = 0;
   for (const auto& row : pheromone_) {
-    if (row.size() < 2) continue;
-    double total = 0.0;
-    for (const auto& [to, tau] : row)
-      if (tau > 0.0) total += tau;
-    if (total <= 0.0) continue;
-    double entropy = 0.0;
-    for (const auto& [to, tau] : row) {
-      if (tau <= 0.0) continue;
-      const double p = tau / total;
-      entropy -= p * std::log(p);
-    }
-    sum += entropy / std::log(static_cast<double>(row.size()));
+    double term = 0.0;
+    if (!entropy_term(row, term)) continue;
+    sum += term;
     ++rows;
   }
   return rows == 0 ? 0.0 : sum / static_cast<double>(rows);
@@ -162,9 +200,12 @@ void AntRoutingSystem::step(const Graph& graph, std::size_t now,
                        gateway_bias.size() == pheromone_.size(),
                    "gateway bias span size mismatch");
 
-  // Evaporation, with pruning of negligible residue.
+  // Evaporation, with pruning of negligible residue. Rows are disjoint, so
+  // they fan over the agent engine; an inactive engine runs the exact
+  // serial row loop.
   const double keep = 1.0 - config_.evaporation;
-  for (auto& table : pheromone_) {
+  par_.for_each(pheromone_.size(), [&](std::size_t u) {
+    auto& table = pheromone_[u];
     for (auto it = table.begin(); it != table.end();) {
       it->second *= keep;
       if (it->second < 1e-9)
@@ -172,7 +213,7 @@ void AntRoutingSystem::step(const Graph& graph, std::size_t now,
       else
         ++it;
     }
-  }
+  });
 
   // Launches (gateways sink ants, they do not source them).
   for (NodeId v = 0; v < pheromone_.size(); ++v) {
@@ -205,20 +246,42 @@ void AntRoutingSystem::step(const Graph& graph, std::size_t now,
 }
 
 RoutingTables AntRoutingSystem::snapshot_tables(std::size_t now) const {
-  RoutingTables tables(pheromone_.size());
-  for (NodeId u = 0; u < pheromone_.size(); ++u) {
-    if (is_gateway_[u]) continue;
+  const std::size_t n = pheromone_.size();
+  RoutingTables tables(n);
+  // Per-node argmax over the pheromone row; true when the node gets an
+  // entry. First-wins on ties (strict >), same as the historical loop.
+  const auto best_entry = [&](NodeId u, RouteEntry& entry) {
+    if (is_gateway_[u]) return false;
     const auto& table = pheromone_[u];
-    if (table.empty()) continue;
+    if (table.empty()) return false;
     auto best = table.begin();
     for (auto it = std::next(table.begin()); it != table.end(); ++it)
       if (it->second > best->second) best = it;
-    RouteEntry entry;
     entry.next_hop = best->first;
     entry.gateway = kInvalidNode;  // ants route toward *any* gateway
     entry.hops = 1;                // unknown; validity is walk-checked
     entry.installed_at = now;
-    tables.force(u, entry);
+    return true;
+  };
+  if (par_.active() && n >= 2) {
+    // Argmax scans fan over the engine into per-node slots; the table is
+    // filled serially in node order, exactly like the serial loop.
+    std::vector<RouteEntry> entries(n);
+    std::vector<char> present(n, 0);
+    par_.for_each(n, [&](std::size_t u) {
+      RouteEntry entry;
+      if (best_entry(static_cast<NodeId>(u), entry)) {
+        entries[u] = entry;
+        present[u] = 1;
+      }
+    });
+    for (NodeId u = 0; u < n; ++u)
+      if (present[u]) tables.force(u, entries[u]);
+    return tables;
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    RouteEntry entry;
+    if (best_entry(u, entry)) tables.force(u, entry);
   }
   return tables;
 }

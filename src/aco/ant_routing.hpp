@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "common/agent_parallel.hpp"
 #include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "net/graph.hpp"
@@ -96,6 +97,13 @@ class AntRoutingSystem {
   /// (entries stamped `now` so the freshness policy never evicts them).
   RoutingTables snapshot_tables(std::size_t now) const;
 
+  /// Intra-run parallelism: evaporation rows, the entropy gauge and the
+  /// snapshot argmax fan over the agent engine with per-row slots reduced
+  /// in row order (bit-identical). Ant advancement and launches stay
+  /// serial — they share the colony RNG. Inactive engine (the default) is
+  /// the exact serial path.
+  void set_parallel(const AgentParallel& par) { par_ = par; }
+
   std::size_t active_ants() const { return ants_.size(); }
   /// Cumulative ant hops (forward + backward).
   std::size_t ant_hops() const { return ant_hops_; }
@@ -172,6 +180,7 @@ class AntRoutingSystem {
   std::vector<FlatMap<NodeId, double>> pheromone_;
   std::vector<Ant> ants_;
   Rng rng_;
+  AgentParallel par_;  ///< Inactive by default; see set_parallel().
   std::size_t ant_hops_ = 0;
   std::size_t control_bytes_ = 0;
   std::size_t ants_launched_ = 0;

@@ -32,6 +32,8 @@ AntRoutingResult run_ant_routing_task(const RoutingScenario& scenario,
     ant_config.ant_loss_probability = plan.agent_loss_probability;
   AntRoutingSystem ants(world.node_count(), scenario.is_gateway(), ant_config,
                         rng);
+  const AgentParallel par(config.agent_parallel);
+  ants.set_parallel(par);
   AntRoutingResult result;
   result.connectivity.reserve(config.steps);
   // Keyed on (world epoch, snapshot contents): skips the walk when neither
@@ -78,14 +80,15 @@ AntRoutingResult run_ant_routing_task(const RoutingScenario& scenario,
     if (injector && plan.topology_faults()) {
       const Graph& measured = injector->live_graph(world, world.step());
       result.connectivity.push_back(
-          measure_connectivity(measured, tables, scenario.is_gateway())
+          measure_connectivity(measured, tables, scenario.is_gateway(), 0, par)
               .fraction());
     } else {
       // Fault-free topology: measure over the frozen CSR snapshot
       // (bit-identical to walking world.graph()).
       if (injector) injector->live_graph(world, world.step());
       result.connectivity.push_back(
-          conn_cache.measure(world, tables, scenario.is_gateway()).fraction());
+          conn_cache.measure(world, tables, scenario.is_gateway(), 0, par)
+              .fraction());
     }
     AGENTNET_OBS_GAUGE(kConnectivity, t, result.connectivity.back());
     if (AGENTNET_OBS_METRICS_WANT(t)) {

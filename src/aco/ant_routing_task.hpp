@@ -16,6 +16,12 @@ struct AntRoutingTaskConfig {
   /// the graph the ants walk and the measurement sees; the plan's
   /// agent_loss_probability maps onto ant loss unless `ants` sets its own.
   FaultPlan faults;
+  /// Intra-run agent parallelism (AGENTNET_AGENT_THREADS): evaporation
+  /// rows, the entropy gauge, the snapshot argmax and the per-root
+  /// connectivity walks fan over the shared agent pool. Bit-identical at
+  /// every thread count; threads = 1 (the default) is the exact serial
+  /// path.
+  AgentParallelConfig agent_parallel = AgentParallelConfig::from_env();
   /// Checkpoint/restore handle for this run (nullptr = disabled). Owned by
   /// the caller; see snapshot/snapshot.hpp and docs/ROBUSTNESS.md.
   snapshot::RunCheckpointPort* checkpoint = nullptr;

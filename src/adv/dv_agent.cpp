@@ -134,6 +134,11 @@ DvRoutingTaskResult run_dv_routing_task(const RoutingScenario& scenario,
     injector.emplace(plan, fault_stream);
   }
 
+  // Intra-run parallelism: each DV agent owns its table and RNG, so arrive
+  // and decide fan over the agent engine. Inactive (the default) = exact
+  // serial loops.
+  const AgentParallel par(config.agent_parallel);
+
   DvRoutingTaskResult result;
   result.connectivity.reserve(config.steps);
   // Keyed on (world epoch, table contents): skips the walk when neither
@@ -188,13 +193,16 @@ DvRoutingTaskResult run_dv_routing_task(const RoutingScenario& scenario,
         injector ? injector->live_graph(world, world.step()) : world.graph();
     {
       AGENTNET_OBS_PHASE(kSense);
-      for (auto& agent : agents) agent.arrive(live, is_gateway, t);
+      par.for_each(agents.size(), [&](std::size_t i) {
+        agents[i].arrive(live, is_gateway, t);
+      });
     }
     std::vector<NodeId> targets(agents.size());
     {
       AGENTNET_OBS_PHASE(kDecide);
-      for (std::size_t i = 0; i < agents.size(); ++i)
+      par.for_each(agents.size(), [&](std::size_t i) {
         targets[i] = agents[i].decide(live, t);
+      });
     }
     {
       AGENTNET_OBS_PHASE(kMove);
@@ -233,12 +241,13 @@ DvRoutingTaskResult run_dv_routing_task(const RoutingScenario& scenario,
     if (injector && plan.topology_faults()) {
       const Graph& measured = injector->live_graph(world, world.step());
       result.connectivity.push_back(
-          measure_connectivity(measured, tables, is_gateway).fraction());
+          measure_connectivity(measured, tables, is_gateway, 0, par)
+              .fraction());
     } else {
       // Fault-free topology: walk the frozen CSR snapshot (bit-identical
       // to walking world.graph()).
       result.connectivity.push_back(
-          conn_cache.measure(world, tables, is_gateway).fraction());
+          conn_cache.measure(world, tables, is_gateway, 0, par).fraction());
     }
   }
   result.final_population = agents.size();

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/agent_parallel.hpp"
 #include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "core/routing_task.hpp"
@@ -116,6 +117,13 @@ struct DvRoutingTaskConfig {
   /// the graph agents walk and the measurement sees; agent_loss_probability
   /// kills migrating DV agents in transit.
   FaultPlan faults;
+  /// Intra-run agent parallelism (AGENTNET_AGENT_THREADS): arrive
+  /// (relaxation), decide and the per-root connectivity walks fan over the
+  /// shared agent pool — each DV agent owns its table and RNG, so the
+  /// phases are embarrassingly parallel. Move/install stay serial (shared
+  /// tables, fault draws). Bit-identical at every thread count; threads =
+  /// 1 (the default) is the exact serial path.
+  AgentParallelConfig agent_parallel = AgentParallelConfig::from_env();
   /// Checkpoint/restore handle for this run (nullptr = disabled). Owned by
   /// the caller; see snapshot/snapshot.hpp and docs/ROBUSTNESS.md.
   snapshot::RunCheckpointPort* checkpoint = nullptr;

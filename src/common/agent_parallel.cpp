@@ -1,0 +1,37 @@
+#include "common/agent_parallel.hpp"
+
+#include <thread>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace agentnet {
+
+namespace detail {
+
+std::size_t resolve_agent_threads(std::size_t threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool& agent_pool(std::size_t threads) {
+  // One pool per process, sized by the first activation: runs × agent
+  // batches queue into the same workers (no oversubscription by nesting).
+  static ThreadPool pool(resolve_agent_threads(threads));
+  return pool;
+}
+
+}  // namespace detail
+
+AgentParallelConfig AgentParallelConfig::from_env() {
+  AgentParallelConfig config;
+  const std::int64_t raw = env_int("AGENTNET_AGENT_THREADS", 1);
+  if (raw < 0)
+    throw ConfigError("AGENTNET_AGENT_THREADS must be >= 0");
+  config.threads = detail::resolve_agent_threads(
+      static_cast<std::size_t>(raw));
+  return config;
+}
+
+}  // namespace agentnet

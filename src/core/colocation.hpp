@@ -1,0 +1,50 @@
+// Co-location grouping shared by the task loops.
+//
+// Meetings happen between agents standing on the same node. The grouping
+// is the load-bearing input of the group-parallel exchange phase
+// (common/agent_parallel.hpp): groups are disjoint by construction —
+// every agent index appears in at most one group — so distinct groups can
+// pool and merge concurrently, while the group *order* (ascending venue
+// node id) fixes the serial order fault draws, counters and trace events
+// replay in. Within a group, members stay in ascending agent-index order
+// (the sort key is (location, index), so tie order never depends on the
+// sort implementation). Meeting outcomes are member-order independent —
+// pooling is a commutative max/merge — so pinning the tie order only
+// fixes the per-member event sequence.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace agentnet {
+
+/// Groups agent indices by location; returns only groups of two or more
+/// (singletons have nobody to meet). Groups are ordered by venue node id;
+/// members by ascending agent index.
+template <typename Agent>
+std::vector<std::vector<std::size_t>> colocated_groups(
+    const std::vector<Agent>& agents) {
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<std::size_t> order(agents.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto la = agents[a].location();
+    const auto lb = agents[b].location();
+    return la < lb || (la == lb && a < b);
+  });
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i + 1;
+    while (j < order.size() &&
+           agents[order[j]].location() == agents[order[i]].location())
+      ++j;
+    if (j - i >= 2)
+      groups.emplace_back(order.begin() + i, order.begin() + j);
+    i = j;
+  }
+  return groups;
+}
+
+}  // namespace agentnet

@@ -4,7 +4,9 @@
 #include <numeric>
 #include <optional>
 
+#include "common/agent_parallel.hpp"
 #include "common/dense_bitset.hpp"
+#include "core/colocation.hpp"
 #include "geom/spatial_grid.hpp"
 #include "common/log.hpp"
 #include "fault/fault_injector.hpp"
@@ -15,28 +17,6 @@
 namespace agentnet {
 
 namespace {
-
-/// Groups agent indices by location; returns only groups of two or more.
-std::vector<std::vector<std::size_t>> colocated_groups(
-    const std::vector<MappingAgent>& agents) {
-  std::vector<std::vector<std::size_t>> groups;
-  std::vector<std::size_t> order(agents.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return agents[a].location() < agents[b].location();
-  });
-  std::size_t i = 0;
-  while (i < order.size()) {
-    std::size_t j = i + 1;
-    while (j < order.size() &&
-           agents[order[j]].location() == agents[order[i]].location())
-      ++j;
-    if (j - i >= 2)
-      groups.emplace_back(order.begin() + i, order.begin() + j);
-    i = j;
-  }
-  return groups;
-}
 
 /// Union-find for radius-1 meetings: agents on the same node or on nodes
 /// joined by a link (either direction carries the exchange) share a group,
@@ -64,6 +44,22 @@ struct MeetingScratch {
   std::optional<SpatialGrid> grid;
   std::vector<Vec2> positions;       ///< Agent positions, index = agent idx.
   std::vector<std::size_t> nearby;   ///< Grid query output, ascending.
+};
+
+/// Per-worker pooling scratch for group-parallel exchanges (one per chunk
+/// when the agent engine is active; the serial path reuses one instance).
+struct ExchangeScratch {
+  DenseBitset edges;
+  std::vector<std::int64_t> visits;
+};
+
+/// One planned meeting: the serial plan pass fixes membership, venue and
+/// the corruption draw (group-order RNG); pooling then runs group-parallel
+/// and the commit pass replays counters/events in group order.
+struct MeetingPlan {
+  std::vector<std::size_t> talkers;
+  NodeId venue = 0;
+  bool corrupted = false;
 };
 
 std::vector<std::vector<std::size_t>> in_range_groups(
@@ -160,8 +156,20 @@ MappingTaskResult run_mapping_task(World& world,
 
   StigmergyBoard board(n, config.stigmergy_horizon,
                        config.stigmergy_capacity);
-  DenseBitset pooled_edges(n * n);
-  std::vector<std::int64_t> pooled_visits(n);
+  // The intra-run agent engine. Every recovery path draws its config from
+  // `roster`, so whether any agent is stigmergic is a run constant — the
+  // decide phase needs it: stigmergic agents must see footprints stamped
+  // earlier in the same step, which forces the serial decide order.
+  const AgentParallel par(config.agent_parallel);
+  const bool stigmergic_roster =
+      std::any_of(roster.begin(), roster.end(),
+                  [](const MappingAgentConfig& member) {
+                    return member.stigmergy != StigmergyMode::kOff;
+                  });
+  ExchangeScratch pooled{DenseBitset(n * n),
+                         std::vector<std::int64_t>(n)};
+  std::vector<MeetingPlan> meetings;
+  std::vector<double> fractions;
   // The monitoring entity's collected map (completeness is tracked against
   // the step-0 truth; pair it with advance_world only for rough readings).
   DenseBitset monitor_map(config.monitor_node ? n * n : 0);
@@ -335,13 +343,17 @@ MappingTaskResult run_mapping_task(World& world,
     }
 
     // Phase 1: every agent learns the out-edges of its node. Agents on a
-    // crashed node are suspended: they sense nothing this step.
+    // crashed node are suspended: they sense nothing this step. Sensing
+    // reads the frozen live graph and writes only the agent's own map, so
+    // the engine fans it per agent (down() is a const read of the mask
+    // live_graph() refreshed above).
     {
       AGENTNET_OBS_PHASE(kSense);
-      for (auto& agent : agents) {
-        if (injector && injector->down(agent.location())) continue;
+      par.for_each(agents.size(), [&](std::size_t i) {
+        MappingAgent& agent = agents[i];
+        if (injector && injector->down(agent.location())) return;
         agent.sense(live, t);
-      }
+      });
     }
 
     // Phase 2: direct communication within co-located (or, with
@@ -355,45 +367,88 @@ MappingTaskResult run_mapping_task(World& world,
           config.comm_radius == 0
               ? colocated_groups(agents)
               : in_range_groups(agents, live, world, meeting_scratch);
-      for (const auto& group : groups) {
-        // Members stranded on crashed nodes cannot take part; a corrupted
-        // exchange (drawn once per meeting) discards the whole payload.
-        std::vector<std::size_t> talkers;
-        if (injector && plan.topology_faults()) {
-          for (std::size_t idx : group)
-            if (!injector->down(agents[idx].location()))
-              talkers.push_back(idx);
-        } else {
-          talkers.assign(group.begin(), group.end());
+      // Plan pass (serial): membership, venue and the per-meeting
+      // corruption draw, in group order — the exact RNG sequence of the
+      // historical single-pass loop, which drew nothing while pooling.
+      meetings.clear();
+      {
+        obs::ScopedPhase plan_phase(obs::Phase::kExchangePlan);
+        for (const auto& group : groups) {
+          // Members stranded on crashed nodes cannot take part; a
+          // corrupted exchange (drawn once per meeting) discards the
+          // whole payload.
+          MeetingPlan meeting;
+          if (injector && plan.topology_faults()) {
+            for (std::size_t idx : group)
+              if (!injector->down(agents[idx].location()))
+                meeting.talkers.push_back(idx);
+          } else {
+            meeting.talkers.assign(group.begin(), group.end());
+          }
+          if (meeting.talkers.size() < 2) continue;
+          meeting.venue = agents[meeting.talkers[0]].location();
+          meeting.corrupted = injector &&
+                              plan.exchange_failure_probability > 0.0 &&
+                              injector->corrupt_exchange();
+          meetings.push_back(std::move(meeting));
         }
-        if (talkers.size() < 2) continue;
-        const NodeId venue = agents[talkers[0]].location();
-        if (injector && plan.exchange_failure_probability > 0.0 &&
-            injector->corrupt_exchange()) {
-          AGENTNET_COUNT(kExchangesCorrupted);
-          AGENTNET_OBS_EVENT(kExchangeCorrupted, t, -1,
-                             static_cast<std::int64_t>(venue),
-                             static_cast<std::int64_t>(talkers.size()));
-          continue;
-        }
-        AGENTNET_COUNT(kAgentMeetings);
-        AGENTNET_OBS_EVENT(kMeet, t, -1, static_cast<std::int64_t>(venue),
-                           static_cast<std::int64_t>(talkers.size()));
-        pooled_edges.clear();
-        std::fill(pooled_visits.begin(), pooled_visits.end(), kNeverVisited);
-        for (std::size_t idx : talkers) {
+      }
+      // Pooling (group-parallel): meetings are disjoint, so each can pool
+      // and distribute into its own members concurrently — per-worker
+      // scratch, no events, no RNG.
+      const auto pool_meeting = [&](const MeetingPlan& meeting,
+                                    ExchangeScratch& scratch) {
+        scratch.edges.clear();
+        std::fill(scratch.visits.begin(), scratch.visits.end(),
+                  kNeverVisited);
+        for (std::size_t idx : meeting.talkers) {
           const MapKnowledge& k = agents[idx].knowledge();
-          pooled_edges.merge(k.combined_edges());
+          scratch.edges.merge(k.combined_edges());
           const auto visits = k.any_visits();
           for (std::size_t i = 0; i < n; ++i)
-            pooled_visits[i] = std::max(pooled_visits[i], visits[i]);
+            scratch.visits[i] = std::max(scratch.visits[i], visits[i]);
         }
-        for (std::size_t idx : talkers) {
-          agents[idx].learn_union(pooled_edges, pooled_visits);
-          AGENTNET_COUNT(kKnowledgeMerges);
-          AGENTNET_OBS_EVENT(
-              kMerge, t, static_cast<std::int64_t>(idx),
-              static_cast<std::int64_t>(agents[idx].location()));
+        for (std::size_t idx : meeting.talkers)
+          agents[idx].learn_union(scratch.edges, scratch.visits);
+      };
+      if (par.active() && meetings.size() > 1) {
+        par.for_each_scratch(
+            meetings.size(),
+            [n] {
+              return ExchangeScratch{DenseBitset(n * n),
+                                     std::vector<std::int64_t>(n)};
+            },
+            [&](std::size_t m, ExchangeScratch& scratch) {
+              if (!meetings[m].corrupted) pool_meeting(meetings[m], scratch);
+            });
+      } else {
+        for (const MeetingPlan& meeting : meetings)
+          if (!meeting.corrupted) pool_meeting(meeting, pooled);
+      }
+      // Commit pass (serial): counters and trace events replayed in group
+      // order — the same per-meeting sequence the single-pass loop
+      // emitted, so traces stay byte-identical at any thread count.
+      {
+        obs::ScopedPhase commit_phase(obs::Phase::kCommit);
+        for (const MeetingPlan& meeting : meetings) {
+          if (meeting.corrupted) {
+            AGENTNET_COUNT(kExchangesCorrupted);
+            AGENTNET_OBS_EVENT(
+                kExchangeCorrupted, t, -1,
+                static_cast<std::int64_t>(meeting.venue),
+                static_cast<std::int64_t>(meeting.talkers.size()));
+            continue;
+          }
+          AGENTNET_COUNT(kAgentMeetings);
+          AGENTNET_OBS_EVENT(kMeet, t, -1,
+                             static_cast<std::int64_t>(meeting.venue),
+                             static_cast<std::int64_t>(meeting.talkers.size()));
+          for (std::size_t idx : meeting.talkers) {
+            AGENTNET_COUNT(kKnowledgeMerges);
+            AGENTNET_OBS_EVENT(
+                kMerge, t, static_cast<std::int64_t>(idx),
+                static_cast<std::int64_t>(agents[idx].location()));
+          }
         }
       }
     }
@@ -402,8 +457,9 @@ MappingTaskResult run_mapping_task(World& world,
     // region's links eventually stop being "known" second-hand and must be
     // re-observed or re-learned.
     if (plan.knowledge_ttl > 0)
-      for (auto& agent : agents)
-        agent.expire_second_hand(t, plan.knowledge_ttl);
+      par.for_each(agents.size(), [&](std::size_t i) {
+        agents[i].expire_second_hand(t, plan.knowledge_ttl);
+      });
 
     // Monitor upload: every agent standing on the monitoring entity's node
     // hands over its full map (nothing uploads while the monitor is down).
@@ -427,8 +483,19 @@ MappingTaskResult run_mapping_task(World& world,
       AGENTNET_OBS_PHASE(kMeasure);
       double min_fraction = 1.0;
       double sum_fraction = 0.0;
-      for (const auto& agent : agents) {
-        const double f = knowledge_fraction(agent);
+      // Per-agent fractions land in index slots and reduce in index order,
+      // so the floating-point sum is bitwise the serial loop's. The lazy
+      // CSR refreeze is forced up front — workers must only read it (the
+      // serial path lets the first knowledge_fraction call freeze it, so
+      // an extinct team never triggers a refreeze either way).
+      if (par.active() && !agents.empty() && config.advance_world &&
+          !config.truth_edges_override)
+        world.csr();
+      fractions.resize(agents.size());
+      par.for_each(agents.size(), [&](std::size_t i) {
+        fractions[i] = knowledge_fraction(agents[i]);
+      });
+      for (double f : fractions) {
         min_fraction = std::min(min_fraction, f);
         sum_fraction += f;
       }
@@ -473,12 +540,25 @@ MappingTaskResult run_mapping_task(World& world,
         std::iota(decide_order.begin(), decide_order.end(), 0);
       }
       rng.shuffle(std::span<std::size_t>(decide_order));
-      for (std::size_t idx : decide_order) {
-        MappingAgent& agent = agents[idx];
-        const NodeId target = agent.decide(live, board, t);
-        targets[idx] = target;
-        if (agent.stigmergic() && target != agent.location())
-          board.stamp(agent.location(), target, t);
+      // Non-stigmergic teams never read the board, so their decisions are
+      // independent given the frozen live graph and each agent's own
+      // forked RNG stream: the engine fans them per agent (iteration
+      // order is then irrelevant — the shuffle above still consumes the
+      // same run-RNG draws, keeping fault-free sequences unperturbed).
+      // Stigmergic teams keep the exact serial decide order: same-step
+      // footprint visibility is the dispersion mechanism.
+      if (par.active() && !stigmergic_roster) {
+        par.for_each(agents.size(), [&](std::size_t i) {
+          targets[i] = agents[i].decide(live, board, t);
+        });
+      } else {
+        for (std::size_t idx : decide_order) {
+          MappingAgent& agent = agents[idx];
+          const NodeId target = agent.decide(live, board, t);
+          targets[idx] = target;
+          if (agent.stigmergic() && target != agent.location())
+            board.stamp(agent.location(), target, t);
+        }
       }
     }
     {

@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/agent_parallel.hpp"
 #include "common/rng.hpp"
 #include "core/mapping_agent.hpp"
 #include "core/stigmergy.hpp"
@@ -68,6 +69,11 @@ struct MappingTaskConfig {
   /// the task on exactly its historical fault-free path — it draws nothing
   /// extra from the run RNG. See fault/fault_plan.hpp, docs/ROBUSTNESS.md.
   FaultPlan faults;
+  /// Intra-run agent parallelism (AGENTNET_AGENT_THREADS): sense, group
+  /// exchanges, measurement and — for non-stigmergic teams — decide fan
+  /// over the shared agent pool. Bit-identical at every thread count;
+  /// threads = 1 (the default) is the exact serial path.
+  AgentParallelConfig agent_parallel = AgentParallelConfig::from_env();
   /// Checkpoint/restore handle for this run (nullptr = disabled). Owned by
   /// the caller; see snapshot/snapshot.hpp and docs/ROBUSTNESS.md.
   snapshot::RunCheckpointPort* checkpoint = nullptr;

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/stats.hpp"
+#include "core/colocation.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/watchdog.hpp"
 #include "obs/obs.hpp"
@@ -201,26 +202,15 @@ World RoutingScenario::make_world() const {
 
 namespace {
 
-std::vector<std::vector<std::size_t>> colocated_groups(
-    const std::vector<RoutingAgent>& agents) {
-  std::vector<std::vector<std::size_t>> groups;
-  std::vector<std::size_t> order(agents.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return agents[a].location() < agents[b].location();
-  });
-  std::size_t i = 0;
-  while (i < order.size()) {
-    std::size_t j = i + 1;
-    while (j < order.size() &&
-           agents[order[j]].location() == agents[order[i]].location())
-      ++j;
-    if (j - i >= 2)
-      groups.emplace_back(order.begin() + i, order.begin() + j);
-    i = j;
-  }
-  return groups;
-}
+/// One planned meeting: the serial plan pass fixes membership, venue and
+/// the corruption draw (group-order RNG); pooling and adoption then run
+/// group-parallel and the commit pass replays counters/events in group
+/// order.
+struct MeetingPlan {
+  std::vector<std::size_t> talkers;
+  NodeId venue = 0;
+  bool corrupted = false;
+};
 
 }  // namespace
 
@@ -278,8 +268,15 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
   RoutingTaskResult result;
   result.connectivity.reserve(config.steps);
   std::vector<std::size_t> decide_order;
-  // Meeting-exchange scratch, reused across meetings and steps.
+  // Meeting-exchange scratch, reused across meetings and steps (the
+  // parallel exchange path builds per-worker scratch instead).
   FlatMap<NodeId, std::size_t> pooled;
+  // The intra-run agent engine. Recovery paths can change the live mix of
+  // configs (watchdog uses the roster, gateway respawn the homogeneous
+  // template), so the stigmergy gate for the decide phase checks the live
+  // team each step.
+  const AgentParallel par(config.agent_parallel);
+  std::vector<MeetingPlan> meetings;
 
   std::optional<TrafficSimulator> traffic;
   if (config.traffic)
@@ -480,9 +477,11 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
     }
 
     // Phase 1: arrival bookkeeping (history + gateway hint refresh).
+    // Per-agent state only — the engine fans it across the pool.
     {
       AGENTNET_OBS_PHASE(kSense);
-      for (auto& agent : agents) agent.arrive(is_gateway, t);
+      par.for_each(agents.size(),
+                   [&](std::size_t i) { agents[i].arrive(is_gateway, t); });
     }
 
     // Phase 2: decide on the live graph. Paper order: the movement decision
@@ -497,12 +496,26 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
       decide_order.resize(agents.size());
       std::iota(decide_order.begin(), decide_order.end(), 0);
       rng.shuffle(std::span<std::size_t>(decide_order));
-      for (std::size_t idx : decide_order) {
-        RoutingAgent& agent = agents[idx];
-        const NodeId target = agent.decide(live, board, t);
-        targets[idx] = target;
-        if (agent.stigmergic() && target != agent.location())
-          board.stamp(agent.location(), target, t);
+      // Non-stigmergic teams never read the board, so decisions depend
+      // only on the frozen live graph and each agent's own forked RNG
+      // stream — the engine fans them per agent (the shuffle above still
+      // consumes the same run-RNG draws). Stigmergic teams keep the exact
+      // serial order: same-step footprints are the dispersion mechanism.
+      const bool any_stigmergic =
+          std::any_of(agents.begin(), agents.end(),
+                      [](const RoutingAgent& a) { return a.stigmergic(); });
+      if (par.active() && !any_stigmergic) {
+        par.for_each(agents.size(), [&](std::size_t i) {
+          targets[i] = agents[i].decide(live, board, t);
+        });
+      } else {
+        for (std::size_t idx : decide_order) {
+          RoutingAgent& agent = agents[idx];
+          const NodeId target = agent.decide(live, board, t);
+          targets[idx] = target;
+          if (agent.stigmergic() && target != agent.location())
+            board.stamp(agent.location(), target, t);
+        }
       }
     }
 
@@ -512,49 +525,85 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
     // neither share nor learn.
     if (any_communicates && agents.size() > 1) {
       AGENTNET_OBS_PHASE(kExchange);
-      for (const auto& group : colocated_groups(agents)) {
-        std::vector<std::size_t> talkers;
-        for (std::size_t idx : group)
-          if (agents[idx].config().communicate) talkers.push_back(idx);
-        if (talkers.size() < 2) continue;
-        // A crashed host carries no meeting; a corrupted exchange is
-        // drawn per meeting — the payload is discarded, nobody learns.
-        const NodeId venue = agents[talkers[0]].location();
-        if (injector.down(venue)) continue;
-        if (plan.exchange_failure_probability > 0.0 &&
-            injector.corrupt_exchange()) {
-          AGENTNET_COUNT(kExchangesCorrupted);
-          AGENTNET_OBS_EVENT(kExchangeCorrupted, t, -1,
-                             static_cast<std::int64_t>(venue),
-                             static_cast<std::int64_t>(talkers.size()));
-          continue;
+      // Plan pass (serial): membership, venue, the crashed-host check and
+      // the per-meeting corruption draw, in group order — the exact RNG
+      // sequence of the historical single-pass loop (pooling draws
+      // nothing).
+      meetings.clear();
+      {
+        obs::ScopedPhase plan_phase(obs::Phase::kExchangePlan);
+        for (const auto& group : colocated_groups(agents)) {
+          MeetingPlan meeting;
+          for (std::size_t idx : group)
+            if (agents[idx].config().communicate)
+              meeting.talkers.push_back(idx);
+          if (meeting.talkers.size() < 2) continue;
+          // A crashed host carries no meeting; a corrupted exchange is
+          // drawn per meeting — the payload is discarded, nobody learns.
+          meeting.venue = agents[meeting.talkers[0]].location();
+          if (injector.down(meeting.venue)) continue;
+          meeting.corrupted = plan.exchange_failure_probability > 0.0 &&
+                              injector.corrupt_exchange();
+          meetings.push_back(std::move(meeting));
         }
-        AGENTNET_COUNT(kAgentMeetings);
-        AGENTNET_OBS_EVENT(
-            kMeet, t, -1,
-            static_cast<std::int64_t>(agents[talkers[0]].location()),
-            static_cast<std::int64_t>(talkers.size()));
+      }
+      // Pool + adopt (group-parallel): meetings are disjoint, so each can
+      // pick its best hint, pool histories and distribute to its own
+      // members concurrently — per-worker scratch, no events, no RNG.
+      const auto pool_meeting = [&](const MeetingPlan& meeting,
+                                    FlatMap<NodeId, std::size_t>& scratch) {
         RoutingAgent::RouteHint best;  // invalid
-        for (std::size_t idx : talkers)
+        for (std::size_t idx : meeting.talkers)
           if (RoutingAgent::hint_better(agents[idx].hint(), best))
             best = agents[idx].hint();
         // Pool histories (max last-visit per node) before anyone mutates.
-        pooled.clear();
-        for (std::size_t idx : talkers) {
+        scratch.clear();
+        for (std::size_t idx : meeting.talkers) {
           for (const auto& [node, step] : agents[idx].history()) {
-            auto it = pooled.find(node);
-            if (it == pooled.end())
-              pooled.emplace(node, step);
+            auto it = scratch.find(node);
+            if (it == scratch.end())
+              scratch.emplace(node, step);
             else
               it->second = std::max(it->second, step);
           }
         }
-        for (std::size_t idx : talkers) {
-          agents[idx].adopt(best, pooled);
-          AGENTNET_COUNT(kKnowledgeMerges);
-          AGENTNET_OBS_EVENT(
-              kMerge, t, agents[idx].id(),
-              static_cast<std::int64_t>(agents[idx].location()));
+        for (std::size_t idx : meeting.talkers)
+          agents[idx].adopt(best, scratch);
+      };
+      if (par.active() && meetings.size() > 1) {
+        par.for_each_scratch(
+            meetings.size(), [] { return FlatMap<NodeId, std::size_t>(); },
+            [&](std::size_t m, FlatMap<NodeId, std::size_t>& scratch) {
+              if (!meetings[m].corrupted) pool_meeting(meetings[m], scratch);
+            });
+      } else {
+        for (const MeetingPlan& meeting : meetings)
+          if (!meeting.corrupted) pool_meeting(meeting, pooled);
+      }
+      // Commit pass (serial): counters and trace events replayed in group
+      // order — the same per-meeting sequence the single-pass loop
+      // emitted, so traces stay byte-identical at any thread count.
+      {
+        obs::ScopedPhase commit_phase(obs::Phase::kCommit);
+        for (const MeetingPlan& meeting : meetings) {
+          if (meeting.corrupted) {
+            AGENTNET_COUNT(kExchangesCorrupted);
+            AGENTNET_OBS_EVENT(
+                kExchangeCorrupted, t, -1,
+                static_cast<std::int64_t>(meeting.venue),
+                static_cast<std::int64_t>(meeting.talkers.size()));
+            continue;
+          }
+          AGENTNET_COUNT(kAgentMeetings);
+          AGENTNET_OBS_EVENT(kMeet, t, -1,
+                             static_cast<std::int64_t>(meeting.venue),
+                             static_cast<std::int64_t>(meeting.talkers.size()));
+          for (std::size_t idx : meeting.talkers) {
+            AGENTNET_COUNT(kKnowledgeMerges);
+            AGENTNET_OBS_EVENT(
+                kMerge, t, agents[idx].id(),
+                static_cast<std::int64_t>(agents[idx].location()));
+          }
         }
       }
     }
@@ -622,8 +671,10 @@ RoutingTaskResult run_routing_task(const RoutingScenario& scenario,
       // neighbour order matches — over two flat arrays.
       result.connectivity.push_back(
           plan.topology_faults()
-              ? measure_connectivity(measured, tables, is_gateway).fraction()
-              : conn_cache.measure(world, tables, is_gateway).fraction());
+              ? measure_connectivity(measured, tables, is_gateway, 0, par)
+                    .fraction()
+              : conn_cache.measure(world, tables, is_gateway, 0, par)
+                    .fraction());
       AGENTNET_OBS_GAUGE(kConnectivity, t, result.connectivity.back());
       if (config.record_oracle) {
         result.oracle.push_back(

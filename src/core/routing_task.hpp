@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/agent_parallel.hpp"
 #include "common/rng.hpp"
 #include "core/routing_agent.hpp"
 #include "core/stigmergy.hpp"
@@ -134,6 +135,12 @@ struct RoutingTaskConfig {
   /// results to the original implementation. Prefer `faults`.
   double agent_loss_probability = 0.0;
   double gateway_respawn_probability = 0.0;
+  /// Intra-run agent parallelism (AGENTNET_AGENT_THREADS): arrive, group
+  /// exchanges, per-root connectivity walks and — for non-stigmergic
+  /// teams — decide fan over the shared agent pool. Bit-identical at
+  /// every thread count; threads = 1 (the default) is the exact serial
+  /// path.
+  AgentParallelConfig agent_parallel = AgentParallelConfig::from_env();
   /// Checkpoint/restore handle for this run (nullptr = disabled). Owned by
   /// the caller; see snapshot/snapshot.hpp and docs/ROBUSTNESS.md.
   snapshot::RunCheckpointPort* checkpoint = nullptr;

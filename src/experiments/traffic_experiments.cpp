@@ -35,6 +35,9 @@ TrafficTaskResult run_traffic_task(const RoutingScenario& scenario,
                         rng);
   FlowTrafficSimulator traffic(world.node_count(), scenario.is_gateway(),
                                config.workload, config.queue, traffic_stream);
+  const AgentParallel par(config.agent_parallel);
+  ants.set_parallel(par);
+  traffic.set_parallel(par);
   GatewayBalancer balancer(world.node_count(), scenario.is_gateway(),
                            config.balancer);
   ConnectivityCache conn_cache;
@@ -96,9 +99,11 @@ TrafficTaskResult run_traffic_task(const RoutingScenario& scenario,
       if (t >= config.measure_from) {
         const double fraction =
             injector && plan.topology_faults()
-                ? measure_connectivity(live, tables, scenario.is_gateway())
+                ? measure_connectivity(live, tables, scenario.is_gateway(), 0,
+                                       par)
                       .fraction()
-                : conn_cache.measure(world, tables, scenario.is_gateway())
+                : conn_cache.measure(world, tables, scenario.is_gateway(), 0,
+                                     par)
                       .fraction();
         window.add(fraction);
         AGENTNET_OBS_GAUGE(kConnectivity, t, fraction);

@@ -36,6 +36,12 @@ struct TrafficTaskConfig {
   std::size_t measure_from = 150;
   /// Unified fault model, masking the graph both planes see.
   FaultPlan faults;
+  /// Intra-run agent parallelism (AGENTNET_AGENT_THREADS), threaded into
+  /// both planes: ant evaporation/entropy/snapshot, per-node queue service
+  /// and the per-root connectivity walks fan over the shared agent pool.
+  /// Bit-identical at every thread count; threads = 1 (the default) is the
+  /// exact serial path. Nested runs x agent batches share the pool.
+  AgentParallelConfig agent_parallel = AgentParallelConfig::from_env();
   /// Checkpoint/restore handle for this run (nullptr = disabled). Owned by
   /// the caller; see snapshot/snapshot.hpp and docs/ROBUSTNESS.md.
   snapshot::RunCheckpointPort* checkpoint = nullptr;

@@ -136,6 +136,34 @@ int diameter(const Graph& graph) {
   return best;
 }
 
+int diameter(const Graph& graph, const AgentParallel& par) {
+  const std::size_t n = graph.node_count();
+  if (!par.active() || n < 2) return diameter(graph);
+  // Per-root eccentricity slots (-1 = some pair unreachable), reduced in
+  // root order; integer max, so identical at any thread count.
+  std::vector<int> ecc(n, 0);
+  par.for_each_scratch(
+      n, [] { return std::vector<int>(); },
+      [&](std::size_t u, std::vector<int>& dist) {
+        bfs_distances_impl(graph, static_cast<NodeId>(u), dist);
+        int best = 0;
+        for (int d : dist) {
+          if (d < 0) {
+            best = -1;
+            break;
+          }
+          best = std::max(best, d);
+        }
+        ecc[u] = best;
+      });
+  int best = 0;
+  for (int e : ecc) {
+    if (e < 0) return -1;
+    best = std::max(best, e);
+  }
+  return best;
+}
+
 DegreeStats degree_stats(const Graph& graph) {
   DegreeStats stats;
   if (graph.node_count() == 0) return stats;
@@ -211,6 +239,34 @@ double mean_shortest_path(const Graph& graph) {
         total += static_cast<std::size_t>(d);
       }
     }
+  }
+  if (pairs == 0) return -1.0;
+  return static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+double mean_shortest_path(const Graph& graph, const AgentParallel& par) {
+  const std::size_t n = graph.node_count();
+  if (!par.active() || n < 2) return mean_shortest_path(graph);
+  // Per-root integer (pairs, total) slots summed in root order — exact
+  // integer sums, so the quotient matches the serial value bit for bit.
+  std::vector<std::size_t> pair_slots(n, 0);
+  std::vector<std::size_t> total_slots(n, 0);
+  par.for_each_scratch(
+      n, [] { return std::vector<int>(); },
+      [&](std::size_t u, std::vector<int>& dist) {
+        bfs_distances_impl(graph, static_cast<NodeId>(u), dist);
+        for (int d : dist) {
+          if (d > 0) {
+            ++pair_slots[u];
+            total_slots[u] += static_cast<std::size_t>(d);
+          }
+        }
+      });
+  std::size_t pairs = 0;
+  std::size_t total = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    pairs += pair_slots[u];
+    total += total_slots[u];
   }
   if (pairs == 0) return -1.0;
   return static_cast<double>(total) / static_cast<double>(pairs);

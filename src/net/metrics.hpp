@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/agent_parallel.hpp"
 #include "net/graph.hpp"
 
 namespace agentnet {
@@ -35,6 +36,10 @@ std::vector<int> strongly_connected_components(const Graph& graph);
 /// Longest shortest-path over all ordered pairs; -1 if any pair is
 /// unreachable. O(V·E) — fine at agentnet's scales.
 int diameter(const Graph& graph);
+/// Parallel variant: the per-root BFS sweeps fan over the agent engine with
+/// per-root result slots reduced in root order — integer max, so the value
+/// is identical at any thread count. Inactive engine = exact serial path.
+int diameter(const Graph& graph, const AgentParallel& par);
 
 struct DegreeStats {
   std::size_t min_out = 0;
@@ -64,5 +69,8 @@ std::vector<std::size_t> hop_histogram(const Graph& graph, NodeId src);
 /// Mean shortest-path length over all ordered reachable pairs; -1 when no
 /// pair is reachable. O(V·E).
 double mean_shortest_path(const Graph& graph);
+/// Parallel variant: per-root BFS fan-out with integer (pairs, total) slots
+/// summed in root order — bit-identical to the serial value.
+double mean_shortest_path(const Graph& graph, const AgentParallel& par);
 
 }  // namespace agentnet

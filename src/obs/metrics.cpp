@@ -41,6 +41,7 @@ constexpr const char* kCounterNames[] = {
     "packets_generated",
     "packets_delivered",
     "packets_dropped",
+    "agent_parallel_batches",
     "checkpoint_saved",
     "checkpoint_restored",
 };
@@ -64,9 +65,10 @@ MetricsSnapshot snapshot(const CounterSlot& slot) {
 void write_counter_footer(std::ostream& os, const CounterSlot& slot) {
   for (std::size_t i = 0; i < kCounterCount; ++i) {
     const auto counter = static_cast<Counter>(i);
-    // Checkpoint bookkeeping is excluded: a resumed run must produce this
-    // footer byte-identically to the uninterrupted run it continues.
-    if (is_checkpoint_counter(counter)) continue;
+    // Machinery bookkeeping is excluded: a resumed run must produce this
+    // footer byte-identically to the uninterrupted run it continues, and a
+    // parallel-agent run byte-identically to the serial one.
+    if (is_bookkeeping_counter(counter)) continue;
     const std::uint64_t value = slot.value(counter);
     if (value != 0)
       os << "# " << counter_name(counter) << '=' << value << '\n';

@@ -50,6 +50,7 @@ enum class Counter : std::size_t {
   kPacketsGenerated,     ///< Data packets injected (counted arrivals).
   kPacketsDelivered,     ///< Data packets that reached their sink.
   kPacketsDropped,       ///< Data packets dropped (any reason).
+  kAgentParallelBatches,  ///< Intra-run parallel agent dispatches.
   kCheckpointSaved,      ///< Checkpoints written (snapshot autosave).
   kCheckpointRestored,   ///< Runs resumed from a checkpoint.
   kCount
@@ -63,6 +64,17 @@ enum class Counter : std::size_t {
 constexpr bool is_checkpoint_counter(Counter counter) {
   return counter == Counter::kCheckpointSaved ||
          counter == Counter::kCheckpointRestored;
+}
+
+/// True for counters describing the *machinery* rather than the
+/// simulation: checkpoint bookkeeping plus the intra-run parallel
+/// dispatch count (which legitimately differs between
+/// AGENTNET_AGENT_THREADS settings while every simulation quantity stays
+/// bit-identical). Excluded from the deterministic output surface: CSV
+/// counter footers skip them and MetricsBuffer::tick zeroes their deltas.
+constexpr bool is_bookkeeping_counter(Counter counter) {
+  return is_checkpoint_counter(counter) ||
+         counter == Counter::kAgentParallelBatches;
 }
 
 inline constexpr std::size_t kCounterCount =

@@ -12,8 +12,10 @@ constexpr const char* kPhaseNames[] = {
     "setup",
     "sense",
     "exchange",
+    "exchange_plan",
     "decide",
     "move",
+    "commit",
     "measure",
     "world_advance",
     "step",

@@ -21,8 +21,12 @@ enum class Phase : std::size_t {
   kSetup,         ///< Scenario / team construction before the step loop.
   kSense,         ///< Agents observing their node (arrival bookkeeping).
   kExchange,      ///< Meetings: pooling and distributing shared state.
+  kExchangePlan,  ///< Exchange sub-phase: serial meeting planning
+                  ///< (talker filters, fault draws, meeting events).
   kDecide,        ///< Movement decisions (incl. stigmergy queries).
   kMove,          ///< Migration + per-node installs.
+  kCommit,        ///< Two-phase step sub-phase: index-order commit /
+                  ///< replay of per-slot results (parallel agent engine).
   kMeasure,       ///< Connectivity / knowledge measurement.
   kWorldAdvance,  ///< Mobility, battery drain, link rebuild (World::advance).
   kStep,          ///< Whole-step granularity for baselines (aco/flooding).

@@ -90,9 +90,10 @@ void MetricsBuffer::tick(std::uint64_t step, const CounterSlot& counters) {
   MetricsRow& row = row_for(step);
   const MetricsSnapshot now = snapshot(counters);
   for (std::size_t i = 0; i < kCounterCount; ++i) {
-    // Checkpoint bookkeeping stays out of the stream: a resumed run's
-    // rows must be byte-identical to the uninterrupted run's.
-    if (is_checkpoint_counter(static_cast<Counter>(i))) continue;
+    // Machinery bookkeeping stays out of the stream: a resumed run's rows
+    // must be byte-identical to the uninterrupted run's, and a
+    // parallel-agent run's to the serial run's.
+    if (is_bookkeeping_counter(static_cast<Counter>(i))) continue;
     row.deltas[i] += now.values[i] - last_counters_.values[i];
   }
   last_counters_ = now;

@@ -88,6 +88,94 @@ ConnectivityResult measure_connectivity_impl(
   return result;
 }
 
+/// Chunk-local memo for the parallel walk (one per engine chunk).
+struct WalkScratch {
+  std::vector<char> state;
+  std::vector<NodeId> path;
+};
+
+// Parallel walk: roots fan over the agent engine, each chunk carrying its
+// own memo. A verdict is an exact property of (graph, tables, mask) — the
+// memo only short-circuits walks that would reach the same answer — so the
+// flags match the serial walk bit for bit. Workers write byte slots
+// (vector<bool> packs bits into shared words and would race).
+template <class AnyGraph>
+std::vector<bool> valid_route_flags_par_impl(
+    const AnyGraph& graph, const RoutingTables& tables,
+    const std::vector<bool>& is_gateway, std::size_t max_hops,
+    const AgentParallel& par) {
+  const std::size_t n = graph.node_count();
+  if (!par.active() || n < 2)
+    return valid_route_flags_impl(graph, tables, is_gateway, max_hops);
+  AGENTNET_REQUIRE(tables.size() == n, "tables/graph size mismatch");
+  AGENTNET_REQUIRE(is_gateway.size() == n, "gateway mask size mismatch");
+  std::vector<char> flags(n, 0);
+  if (max_hops != 0 && max_hops < n) {
+    // Tight hop budget: walks are exact and independent per root.
+    par.for_each(n, [&](std::size_t root) {
+      NodeId u = static_cast<NodeId>(root);
+      std::size_t hops = 0;
+      while (!is_gateway[u] && hops < max_hops) {
+        const RouteEntry& e = tables.entry(u);
+        if (!e.valid() || !graph.has_edge(u, e.next_hop)) break;
+        u = e.next_hop;
+        ++hops;
+      }
+      flags[root] = is_gateway[u] ? 1 : 0;
+    });
+  } else {
+    const std::size_t budget = n;
+    par.for_each_scratch(
+        n, [n] { return WalkScratch{std::vector<char>(n, 0), {}}; },
+        [&](std::size_t root, WalkScratch& s) {
+          const NodeId start = static_cast<NodeId>(root);
+          if (s.state[start] != 0) {
+            flags[root] = s.state[start] == 1 ? 1 : 0;
+            return;
+          }
+          s.path.clear();
+          NodeId u = start;
+          std::size_t hops = 0;
+          char verdict = 2;
+          while (true) {
+            if (is_gateway[u] || s.state[u] == 1) {
+              verdict = 1;
+              break;
+            }
+            if (s.state[u] == 2) break;  // known dead end / loop
+            const RouteEntry& e = tables.entry(u);
+            if (!e.valid() || hops >= budget) break;
+            if (!graph.has_edge(u, e.next_hop)) break;
+            s.state[u] = 2;
+            s.path.push_back(u);
+            u = e.next_hop;
+            ++hops;
+          }
+          for (NodeId v : s.path) s.state[v] = verdict;
+          if (s.state[start] == 0) s.state[start] = verdict;
+          flags[root] = verdict == 1 ? 1 : 0;
+        });
+  }
+  std::vector<bool> valid(n, false);
+  for (NodeId v = 0; v < n; ++v)
+    valid[v] = is_gateway[v] || flags[v] != 0;
+  return valid;
+}
+
+template <class AnyGraph>
+ConnectivityResult measure_connectivity_par_impl(
+    const AnyGraph& graph, const RoutingTables& tables,
+    const std::vector<bool>& is_gateway, std::size_t max_hops,
+    const AgentParallel& par) {
+  const auto valid =
+      valid_route_flags_par_impl(graph, tables, is_gateway, max_hops, par);
+  ConnectivityResult result;
+  result.total = valid.size();
+  for (bool v : valid)
+    if (v) ++result.connected;
+  return result;
+}
+
 template <class AnyGraph>
 ConnectivityResult oracle_connectivity_impl(
     const AnyGraph& graph, const std::vector<bool>& is_gateway,
@@ -151,6 +239,40 @@ ConnectivityResult measure_connectivity(const CsrView& graph,
   return measure_connectivity_impl(graph, tables, is_gateway, max_hops);
 }
 
+std::vector<bool> valid_route_flags(const Graph& graph,
+                                    const RoutingTables& tables,
+                                    const std::vector<bool>& is_gateway,
+                                    std::size_t max_hops,
+                                    const AgentParallel& par) {
+  return valid_route_flags_par_impl(graph, tables, is_gateway, max_hops, par);
+}
+
+std::vector<bool> valid_route_flags(const CsrView& graph,
+                                    const RoutingTables& tables,
+                                    const std::vector<bool>& is_gateway,
+                                    std::size_t max_hops,
+                                    const AgentParallel& par) {
+  return valid_route_flags_par_impl(graph, tables, is_gateway, max_hops, par);
+}
+
+ConnectivityResult measure_connectivity(const Graph& graph,
+                                        const RoutingTables& tables,
+                                        const std::vector<bool>& is_gateway,
+                                        std::size_t max_hops,
+                                        const AgentParallel& par) {
+  return measure_connectivity_par_impl(graph, tables, is_gateway, max_hops,
+                                       par);
+}
+
+ConnectivityResult measure_connectivity(const CsrView& graph,
+                                        const RoutingTables& tables,
+                                        const std::vector<bool>& is_gateway,
+                                        std::size_t max_hops,
+                                        const AgentParallel& par) {
+  return measure_connectivity_par_impl(graph, tables, is_gateway, max_hops,
+                                       par);
+}
+
 ConnectivityResult oracle_connectivity(const Graph& graph,
                                        const std::vector<bool>& is_gateway) {
   Graph rev;
@@ -161,12 +283,20 @@ ConnectivityResult oracle_connectivity(const Graph& graph,
 ConnectivityResult ConnectivityCache::measure(
     const World& world, const RoutingTables& tables,
     const std::vector<bool>& is_gateway, std::size_t max_hops) {
+  return measure(world, tables, is_gateway, max_hops, AgentParallel());
+}
+
+ConnectivityResult ConnectivityCache::measure(
+    const World& world, const RoutingTables& tables,
+    const std::vector<bool>& is_gateway, std::size_t max_hops,
+    const AgentParallel& par) {
   if (epoch_ != kNoCacheEpoch && epoch_ == world.epoch() &&
       max_hops_ == max_hops && entries_ == tables.entries()) {
     AGENTNET_COUNT(kDerivedCacheHits);
     return result_;
   }
-  result_ = measure_connectivity(world.csr(), tables, is_gateway, max_hops);
+  result_ =
+      measure_connectivity(world.csr(), tables, is_gateway, max_hops, par);
   epoch_ = world.epoch();
   max_hops_ = max_hops;
   entries_ = tables.entries();  // assign reuses capacity across steps

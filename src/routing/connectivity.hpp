@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/agent_parallel.hpp"
 #include "net/graph.hpp"
 #include "routing/routing_table.hpp"
 #include "sim/world.hpp"
@@ -49,6 +50,33 @@ std::vector<bool> valid_route_flags(const CsrView& graph,
                                     const std::vector<bool>& is_gateway,
                                     std::size_t max_hops = 0);
 
+/// Parallel variants: the per-root walks fan over the agent engine with
+/// chunk-local memoisation. A verdict ("this node reaches a gateway over
+/// valid next-hops right now") is an exact property of (graph, tables,
+/// mask) — memo state only short-circuits, never changes an answer — so
+/// the flags are bit-identical to the serial walk at any thread count.
+/// An inactive engine takes the exact serial path.
+std::vector<bool> valid_route_flags(const Graph& graph,
+                                    const RoutingTables& tables,
+                                    const std::vector<bool>& is_gateway,
+                                    std::size_t max_hops,
+                                    const AgentParallel& par);
+std::vector<bool> valid_route_flags(const CsrView& graph,
+                                    const RoutingTables& tables,
+                                    const std::vector<bool>& is_gateway,
+                                    std::size_t max_hops,
+                                    const AgentParallel& par);
+ConnectivityResult measure_connectivity(const Graph& graph,
+                                        const RoutingTables& tables,
+                                        const std::vector<bool>& is_gateway,
+                                        std::size_t max_hops,
+                                        const AgentParallel& par);
+ConnectivityResult measure_connectivity(const CsrView& graph,
+                                        const RoutingTables& tables,
+                                        const std::vector<bool>& is_gateway,
+                                        std::size_t max_hops,
+                                        const AgentParallel& par);
+
 /// Upper bound no agent system can beat: the fraction of nodes with *any*
 /// live path to a gateway in `graph` (multi-source BFS on reversed edges).
 ConnectivityResult oracle_connectivity(const Graph& graph,
@@ -72,6 +100,12 @@ class ConnectivityCache {
   ConnectivityResult measure(const World& world, const RoutingTables& tables,
                              const std::vector<bool>& is_gateway,
                              std::size_t max_hops = 0);
+
+  /// Parallel variant: a miss walks with the engine's per-root fan-out
+  /// (bit-identical flags); the hit path is unchanged.
+  ConnectivityResult measure(const World& world, const RoutingTables& tables,
+                             const std::vector<bool>& is_gateway,
+                             std::size_t max_hops, const AgentParallel& par);
 
   /// Checkpoint support: the cache MUST travel with the run — a hit emits
   /// kDerivedCacheHits, so a cold cache after resume would change counter

@@ -47,10 +47,16 @@ void append_chunk(ByteWriter& body, std::uint32_t id, ByteWriter&& chunk) {
 /// rows — so a restored run continues the exact streams it was recording.
 /// Phase timings are wall-clock and deliberately not captured: they are
 /// reported as `# phase_*_ms=` footer comments, outside the deterministic
-/// output surface.
+/// output surface. Bookkeeping counters (checkpoint_*, the agent engine's
+/// dispatch count) are captured as zero for the same reason: they track
+/// harness activity, not run state, and capturing them would make payload
+/// bytes depend on AGENTNET_AGENT_THREADS or on earlier autosaves.
 void save_obs_state(ByteWriter& w, const obs::RunObs& o) {
-  for (std::size_t i = 0; i < obs::kCounterCount; ++i)
-    w.u64(o.counters.value(static_cast<obs::Counter>(i)));
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    const auto counter = static_cast<obs::Counter>(i);
+    w.u64(obs::is_bookkeeping_counter(counter) ? 0
+                                               : o.counters.value(counter));
+  }
   const auto& events = o.trace.events();
   w.size(events.size());
   for (const obs::TraceEvent& e : events) {

@@ -236,9 +236,70 @@ void FlowTrafficSimulator::drop(NodeId node, std::uint64_t count,
 }
 
 void FlowTrafficSimulator::refresh_hop_delays() {
-  for (std::size_t v = 0; v < queued_packets_.size(); ++v)
+  par_.for_each(queued_packets_.size(), [&](std::size_t v) {
     hop_delays_[v] = 1.0 + static_cast<double>(queued_packets_[v]) /
                                static_cast<double>(queue_.link_capacity);
+  });
+}
+
+void FlowTrafficSimulator::serve_node(NodeId v, const Graph& graph,
+                                      const RoutingTables& tables,
+                                      std::vector<PacketBatch>& stuck,
+                                      ServeSlot& slot) {
+  // Serve this node's out-link: up to link_capacity packets move one hop.
+  // Touches only node-local state (queues_[v], queued_packets_[v]) and the
+  // slot — drops and forwarded batches are *recorded*, not applied, so the
+  // serve pass can fan over the agent engine. Batches with no usable next
+  // hop go to `stuck` (patience-checked) and return to the queue front in
+  // order — they consume no link capacity.
+  auto& queue = queues_[v];
+  stuck.clear();
+  std::uint64_t budget = queue_.link_capacity;
+  while (budget > 0 && !queue.empty()) {
+    PacketBatch batch = queue.front();
+    queue.pop_front();
+    // Next hop: a direct link to a p2p destination wins; otherwise the
+    // agent-installed route toward a gateway (p2p traffic reaching any
+    // gateway is relayed over the backhaul — see docs/TRAFFIC.md).
+    const RouteEntry& route = tables.entry(v);
+    NodeId next_hop = kInvalidNode;
+    if (batch.dst != kInvalidNode && graph.has_edge(v, batch.dst)) {
+      next_hop = batch.dst;
+    } else if (route.valid() && graph.has_edge(v, route.next_hop)) {
+      next_hop = route.next_hop;
+    }
+    if (next_hop == kInvalidNode) {
+      if (++batch.waited > queue_.route_patience) {
+        queued_packets_[v] -= batch.count;
+        slot.dequeued += batch.count;
+        slot.drops.push_back({route.valid() ? &stats_.dropped_link_down
+                                            : &stats_.dropped_no_route,
+                              batch.count});
+      } else {
+        stuck.push_back(batch);
+      }
+      continue;
+    }
+    if (batch.count > budget) {
+      // Split: the head of the train crosses, the tail keeps the queue
+      // slot (same creation step, so latency stays exact).
+      PacketBatch tail = batch;
+      tail.count = batch.count - budget;
+      queue.push_front(tail);
+      batch.count = budget;
+    }
+    budget -= batch.count;
+    queued_packets_[v] -= batch.count;
+    slot.dequeued += batch.count;
+    batch.waited = 0;
+    if (++batch.hops > queue_.ttl) {
+      slot.drops.push_back({&stats_.dropped_ttl, batch.count});
+      continue;
+    }
+    slot.incoming.emplace_back(next_hop, batch);
+  }
+  for (auto it = stuck.rbegin(); it != stuck.rend(); ++it)
+    queue.push_front(*it);
 }
 
 void FlowTrafficSimulator::step(const Graph& graph,
@@ -248,68 +309,43 @@ void FlowTrafficSimulator::step(const Graph& graph,
                    "graph size does not match traffic simulator");
   AGENTNET_REQUIRE(tables.size() == queues_.size(),
                    "tables size does not match traffic simulator");
+  const std::size_t n = queues_.size();
 
   std::fill(gateway_deliveries_.begin(), gateway_deliveries_.end(), 0);
   open_sessions(now);
   emit_session_batches(now);
 
-  // Serve each node's out-link: up to link_capacity packets move one hop.
-  // Batches forwarded this step land in `incoming` and only join queues /
-  // sinks afterwards, so a packet moves at most one hop per step. Batches
-  // with no usable next hop go to `stuck` (patience-checked) and return to
-  // the queue front in order — they consume no link capacity.
+  // Serve pass: batches forwarded this step land in `incoming` and only
+  // join queues / sinks afterwards, so a packet moves at most one hop per
+  // step. Each node's slot is committed — drop stats, drop events and the
+  // global occupancy — serially in node order, reproducing the serial
+  // loop's exact event sequence and arrival order.
   std::vector<std::pair<NodeId, PacketBatch>> incoming;
-  std::vector<PacketBatch> stuck;
-  for (NodeId v = 0; v < static_cast<NodeId>(queues_.size()); ++v) {
-    auto& queue = queues_[v];
-    stuck.clear();
-    std::uint64_t budget = queue_.link_capacity;
-    while (budget > 0 && !queue.empty()) {
-      PacketBatch batch = queue.front();
-      queue.pop_front();
-      // Next hop: a direct link to a p2p destination wins; otherwise the
-      // agent-installed route toward a gateway (p2p traffic reaching any
-      // gateway is relayed over the backhaul — see docs/TRAFFIC.md).
-      const RouteEntry& route = tables.entry(v);
-      NodeId next_hop = kInvalidNode;
-      if (batch.dst != kInvalidNode && graph.has_edge(v, batch.dst)) {
-        next_hop = batch.dst;
-      } else if (route.valid() && graph.has_edge(v, route.next_hop)) {
-        next_hop = route.next_hop;
-      }
-      if (next_hop == kInvalidNode) {
-        if (++batch.waited > queue_.route_patience) {
-          queued_packets_[v] -= batch.count;
-          total_queued_ -= batch.count;
-          drop(v, batch.count,
-               route.valid() ? &stats_.dropped_link_down
-                             : &stats_.dropped_no_route,
-               now);
-        } else {
-          stuck.push_back(batch);
-        }
-        continue;
-      }
-      if (batch.count > budget) {
-        // Split: the head of the train crosses, the tail keeps the queue
-        // slot (same creation step, so latency stays exact).
-        PacketBatch tail = batch;
-        tail.count = batch.count - budget;
-        queue.push_front(tail);
-        batch.count = budget;
-      }
-      budget -= batch.count;
-      queued_packets_[v] -= batch.count;
-      total_queued_ -= batch.count;
-      batch.waited = 0;
-      if (++batch.hops > queue_.ttl) {
-        drop(v, batch.count, &stats_.dropped_ttl, now);
-        continue;
-      }
-      incoming.emplace_back(next_hop, batch);
+  const auto commit_slot = [&](NodeId v, ServeSlot& slot) {
+    for (const ServeSlot::DropRecord& record : slot.drops)
+      drop(v, record.count, record.bucket, now);
+    total_queued_ -= slot.dequeued;
+    incoming.insert(incoming.end(),
+                    std::make_move_iterator(slot.incoming.begin()),
+                    std::make_move_iterator(slot.incoming.end()));
+  };
+  if (par_.active() && n >= 2) {
+    std::vector<ServeSlot> slots(n);
+    par_.for_each_scratch(
+        n, [] { return std::vector<PacketBatch>(); },
+        [&](std::size_t v, std::vector<PacketBatch>& stuck) {
+          serve_node(static_cast<NodeId>(v), graph, tables, stuck, slots[v]);
+        });
+    for (NodeId v = 0; v < static_cast<NodeId>(n); ++v)
+      commit_slot(v, slots[v]);
+  } else {
+    std::vector<PacketBatch> stuck;
+    ServeSlot slot;
+    for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+      serve_node(v, graph, tables, stuck, slot);
+      commit_slot(v, slot);
+      slot.clear();
     }
-    for (auto it = stuck.rbegin(); it != stuck.rend(); ++it)
-      queue.push_front(*it);
   }
 
   for (auto& [node, batch] : incoming) {

@@ -26,6 +26,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/agent_parallel.hpp"
 #include "common/rng.hpp"
 #include "net/graph.hpp"
 #include "routing/routing_table.hpp"
@@ -186,6 +187,14 @@ class FlowTrafficSimulator {
     return gateway_deliveries_;
   }
 
+  /// Intra-run parallelism: per-node queue service fans over the agent
+  /// engine (queues are disjoint per node; forwarded batches and drop
+  /// records land in per-node slots replayed serially in node order, so
+  /// stats, events and queue contents are bit-identical). Session opening
+  /// and emission stay serial — they share the workload RNG. Inactive
+  /// engine (the default) is the exact serial path.
+  void set_parallel(const AgentParallel& par) { par_ = par; }
+
   /// Restarts measurement (e.g. at measure_from after warm-up): zeroes the
   /// stats, then counts packets still queued back into `generated` and
   /// active sessions into `flows_started`, so the conservation invariant
@@ -283,6 +292,27 @@ class FlowTrafficSimulator {
     std::uint64_t total = 0;
   };
 
+  /// One node's serve outcome, recorded instead of applied so the serve
+  /// pass can run in parallel: forwarded batches, ordered drop records and
+  /// the number of packets that left the node's queue. Committed serially
+  /// in node order — the exact sequence the serial loop produced.
+  struct ServeSlot {
+    struct DropRecord {
+      std::uint64_t* bucket = nullptr;  ///< Stats bucket to charge.
+      std::uint64_t count = 0;
+    };
+    std::vector<std::pair<NodeId, PacketBatch>> incoming;
+    std::vector<DropRecord> drops;
+    std::uint64_t dequeued = 0;
+    void clear() {
+      incoming.clear();
+      drops.clear();
+      dequeued = 0;
+    }
+  };
+
+  void serve_node(NodeId v, const Graph& graph, const RoutingTables& tables,
+                  std::vector<PacketBatch>& stuck, ServeSlot& slot);
   void open_sessions(std::size_t now);
   void emit_session_batches(std::size_t now);
   void enqueue(NodeId node, PacketBatch batch, std::size_t now);
@@ -303,6 +333,7 @@ class FlowTrafficSimulator {
   std::vector<Session> sessions_;
   FlowTrafficStats stats_;
   Rng rng_;
+  AgentParallel par_;  ///< Inactive by default; see set_parallel().
 };
 
 }  // namespace agentnet

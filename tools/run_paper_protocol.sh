@@ -21,7 +21,10 @@
 # one traced+metered fault-injected routing run per thread count (1 and 2),
 # proves the metrics stream byte-identical across the two, and pushes it
 # through trace_check --metrics and tools/metrics_report
-# (validate/summarize/diff; docs/OBSERVABILITY.md). A checkpoint/restore
+# (validate/summarize/diff; docs/OBSERVABILITY.md). An agent-engine leg
+# repeats that proof for AGENTNET_AGENT_THREADS (the intra-run fan-out,
+# docs/PERFORMANCE.md): mapping and routing runs at agent threads 1 and 2,
+# byte-diffed across stdout, trace and metrics. A checkpoint/restore
 # leg then snapshots a fault-injected routing run mid-flight, resumes it
 # in a fresh process at a different thread count, and byte-diffs stdout,
 # metrics and traces against the uninterrupted run (docs/ROBUSTNESS.md).
@@ -96,6 +99,38 @@ if [ "${1:-}" = "--smoke" ]; then
     --gauge=connectivity --threshold=0.5
   build-tsan/tools/metrics_report diff "$tmp/route_m1.jsonl" \
     "$tmp/route_m2.jsonl"
+  echo "##### intra-run agent engine byte-identity (TSan, agent threads 1/2)"
+  # The tentpole contract (docs/PERFORMANCE.md "Intra-run agent
+  # parallelism"): AGENTNET_AGENT_THREADS fans the per-step agent phases
+  # over the shared pool and must change wall-clock only. One traced +
+  # metered fault-injected run per agent-thread count, for mapping and for
+  # routing; stdout tables, the JSONL event stream and the metrics stream
+  # are byte-diffed, under TSan so a data race in the fan-out fails the
+  # leg outright. trace_check --require proves the exchange phase (meet /
+  # merge events — the group-parallel part) actually fired.
+  for scenario in mapping routing; do
+    case "$scenario" in
+      mapping) cli_args="scenario=mapping nodes=60 edges=300 population=4 \
+        runs=2 max_steps=3000" ;;
+      routing) cli_args="scenario=routing nodes=50 gateways=4 \
+        population=10 runs=2 visiting=1" ;;
+    esac
+    for at in 1 2; do
+      AGENTNET_THREADS=2 AGENTNET_AGENT_THREADS="$at" \
+        AGENTNET_TRACE="$tmp/${scenario}_a${at}.trace.jsonl" \
+        AGENTNET_METRICS="$tmp/${scenario}_a${at}.jsonl" \
+        AGENTNET_METRICS_EVERY=1 \
+        AGENTNET_FAULT_NODE_CRASH=0.03 AGENTNET_FAULT_AGENT_LOSS=0.02 \
+        build-tsan/examples/agentnet_cli $cli_args \
+        > "$tmp/${scenario}_a${at}.out"
+    done
+    diff "$tmp/${scenario}_a1.out" "$tmp/${scenario}_a2.out"
+    diff "$tmp/${scenario}_a1.trace.jsonl" "$tmp/${scenario}_a2.trace.jsonl"
+    diff "$tmp/${scenario}_a1.jsonl" "$tmp/${scenario}_a2.jsonl"
+    build-tsan/tools/trace_check --require=meet --require=merge \
+      "$tmp/${scenario}_a1.trace.jsonl"
+  done
+  echo "agent-thread 1 and 2 runs are bit-identical (mapping + routing)"
   echo "##### hot-path equivalence suite (TSan)"
   cmake --build build-tsan --target rebuild_equivalence_test \
     sharded_world_test -j"$(nproc)"
